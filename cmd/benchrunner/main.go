@@ -1,0 +1,452 @@
+// Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per prose claim of the paper (DESIGN.md §4.2), each
+// reported in machine-independent engine work counters (tuples scanned,
+// join pairs, tuples emitted, predicate evaluations, fixpoint iterations)
+// plus wall-clock time.
+//
+// Usage: benchrunner [-e 1,4,7]   (default: all experiments)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lera"
+	"lera/internal/engine"
+	"lera/internal/rules"
+	"lera/internal/value"
+)
+
+func main() {
+	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
+	flag.Parse()
+	want := map[int]bool{}
+	if *sel != "" {
+		for _, f := range strings.Split(*sel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: bad -e:", err)
+				os.Exit(1)
+			}
+			want[n] = true
+		}
+	}
+	run := func(n int, fn func()) {
+		if len(want) == 0 || want[n] {
+			fn()
+			fmt.Println()
+		}
+	}
+	run(1, e1SearchMerging)
+	run(2, e2PushUnion)
+	run(3, e3PushNest)
+	run(4, e4Alexander)
+	run(5, e5Inconsistency)
+	run(6, e6Simplify)
+	run(7, e7BlockLimits)
+	run(8, e8RepeatedBlocks)
+	run(10, e10Planning)
+}
+
+// --- workload builders ---
+
+// filmsLike builds FILM(Numf, Title, Categories) with n rows and the
+// Category enumeration (for E5).
+func filmsLike(n int, opts ...lera.Option) *lera.Session {
+	s := lera.NewSession(opts...)
+	s.MustExec(`
+TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western');
+TYPE SetCategory SET OF Category;
+TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
+`)
+	cats := []string{"Comedy", "Adventure", "Science Fiction", "Western"}
+	rows := make([][]value.Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []value.Value{
+			value.Int(int64(i + 1)),
+			value.String(fmt.Sprintf("film-%d", i+1)),
+			value.NewSet(value.String(cats[i%4])),
+		}
+	}
+	if err := s.DB.Load("FILM", rows); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// edgeGraph builds EDGE(Src, Dst) with the given edges and declares the
+// recursive TC view.
+func edgeGraph(edges [][2]int, opts ...lera.Option) *lera.Session {
+	s := lera.NewSession(opts...)
+	s.MustExec(`
+TABLE EDGE (Src : INT, Dst : INT);
+CREATE VIEW TC (Src, Dst) AS (
+  SELECT Src, Dst FROM EDGE
+  UNION
+  SELECT T1.Src, T2.Dst FROM TC T1, TC T2 WHERE T1.Dst = T2.Src );
+`)
+	rows := make([][]value.Value, len(edges))
+	for i, e := range edges {
+		rows[i] = []value.Value{value.Int(int64(e[0])), value.Int(int64(e[1]))}
+	}
+	if err := s.DB.Load("EDGE", rows); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func chain(n int) [][2]int {
+	out := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, [2]int{i, i + 1})
+	}
+	return out
+}
+
+func btree(n int) [][2]int {
+	var out [][2]int
+	for i := 2; i <= n; i++ {
+		out = append(out, [2]int{i / 2, i})
+	}
+	return out
+}
+
+func randGraph(n, e int) [][2]int {
+	state := uint64(42)
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int(state>>33)%mod + 1
+	}
+	out := make([][2]int, e)
+	for i := range out {
+		out[i] = [2]int{next(n), next(n)}
+	}
+	return out
+}
+
+// measure runs a query and returns (rows, counters, duration).
+func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Duration) {
+	s.DB.ResetCounters()
+	start := time.Now()
+	res, err := s.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return res, s.DB.Count, time.Since(start)
+}
+
+func header(title, claim, cols string) {
+	fmt.Println("### " + title)
+	fmt.Println()
+	fmt.Println("Claim (paper): " + claim)
+	fmt.Println()
+	fmt.Println(cols)
+	fmt.Println(strings.Repeat("-", 3) + strings.Repeat("|---", strings.Count(cols, "|")))
+}
+
+// --- E1: §5.1 merging reduces the size of a LERA program ---
+
+func e1SearchMerging() {
+	header("E1 — search merging (Figure 7, §5.1)",
+		"\"Merging rules reduce the size of a LERA program ... unnecessary temporary relations are removed.\"",
+		"k views | ops before | ops after | searches before | searches after | emitted raw | emitted rewritten")
+	for k := 1; k <= 8; k++ {
+		build := func(opts ...lera.Option) *lera.Session {
+			s := filmsLike(2000, opts...)
+			prev := "FILM"
+			for i := 1; i <= k; i++ {
+				name := fmt.Sprintf("V%d", i)
+				s.MustExec(fmt.Sprintf(
+					"CREATE VIEW %s (Numf, Title, Categories) AS SELECT Numf, Title, Categories FROM %s WHERE Numf > %d;",
+					name, prev, i))
+				prev = name
+			}
+			return s
+		}
+		q := fmt.Sprintf("SELECT Title FROM V%d WHERE Numf < 1000", k)
+
+		on := build()
+		res, cOn, _ := measure(on, q)
+		opsBefore := operatorCount(res.Initial)
+		searchesBefore := searchCount(res.Initial)
+		opsAfter := operatorCount(res.Rewritten)
+		searchesAfter := searchCount(res.Rewritten)
+
+		off := build()
+		off.Rewrite = false
+		_, cOff, _ := measure(off, q)
+		fmt.Printf("%d | %d | %d | %d | %d | %d | %d\n",
+			k, opsBefore, opsAfter, searchesBefore, searchesAfter, cOff.Emitted, cOn.Emitted)
+	}
+}
+
+func operatorCount(t *lera.Term) int { return lera.OperatorCount(t) }
+func searchCount(t *lera.Term) int   { return lera.SearchCount(t) }
+
+// --- E2: §5.2 pushing focuses the query on relevant facts (union) ---
+
+func e2PushUnion() {
+	header("E2 — selection through union (Figure 8, §5.2)",
+		"\"Permutation rules push constraints on relations stored in the database and focus the query on relevant facts.\"",
+		"selectivity | answers | emitted raw | emitted rewritten | ratio")
+	const parts, perPart = 4, 5000
+	build := func(opts ...lera.Option) *lera.Session {
+		s := lera.NewSession(opts...)
+		var views []string
+		for p := 0; p < parts; p++ {
+			name := fmt.Sprintf("P%d", p)
+			s.MustExec(fmt.Sprintf("TABLE %s (Id : INT, V : INT);", name))
+			rows := make([][]value.Value, perPart)
+			for i := 0; i < perPart; i++ {
+				id := p*perPart + i
+				rows[i] = []value.Value{value.Int(int64(id)), value.Int(int64(id % 997))}
+			}
+			if err := s.DB.Load(name, rows); err != nil {
+				panic(err)
+			}
+			views = append(views, "SELECT Id, V FROM "+name)
+		}
+		s.MustExec("CREATE VIEW ALLP (Id, V) AS " + strings.Join(views, " UNION ") + ";")
+		return s
+	}
+	total := parts * perPart
+	for _, sigma := range []float64{0.001, 0.01, 0.1, 0.5} {
+		threshold := int(float64(total) * sigma)
+		q := fmt.Sprintf("SELECT V FROM ALLP WHERE Id < %d", threshold)
+		on := build()
+		resOn, cOn, _ := measure(on, q)
+		off := build()
+		off.Rewrite = false
+		_, cOff, _ := measure(off, q)
+		ratio := float64(cOff.Emitted) / float64(maxInt(cOn.Emitted, 1))
+		fmt.Printf("%.3f | %d | %d | %d | %.1fx\n", sigma, len(resOn.Rows), cOff.Emitted, cOn.Emitted, ratio)
+	}
+}
+
+// --- E3: §5.2 pushing through nest, gated by REFER ---
+
+func e3PushNest() {
+	header("E3 — selection through nest (Figure 8, §5.2)",
+		"\"[The rule] pushes a search through a nest when the search condition does not refer to nested attributes\" (REFER).",
+		"groups | fanout | emitted raw | emitted rewritten | predEvals raw | predEvals rewritten")
+	for _, gf := range [][2]int{{100, 20}, {400, 20}, {400, 80}, {1600, 20}} {
+		groups, fanout := gf[0], gf[1]
+		build := func() *lera.Session {
+			s := lera.NewSession()
+			s.MustExec(`
+TABLE R (G : INT, V : INT);
+CREATE VIEW NESTED (G, Vs) AS SELECT G, MakeSet(V) FROM R GROUP BY G;
+`)
+			rows := make([][]value.Value, 0, groups*fanout)
+			for g := 1; g <= groups; g++ {
+				for v := 0; v < fanout; v++ {
+					rows = append(rows, []value.Value{value.Int(int64(g)), value.Int(int64(v))})
+				}
+			}
+			if err := s.DB.Load("R", rows); err != nil {
+				panic(err)
+			}
+			return s
+		}
+		q := "SELECT Vs FROM NESTED WHERE G = 5"
+		on := build()
+		_, cOn, _ := measure(on, q)
+		off := build()
+		off.Rewrite = false
+		_, cOff, _ := measure(off, q)
+		fmt.Printf("%d | %d | %d | %d | %d | %d\n",
+			groups, fanout, cOff.Emitted, cOn.Emitted, cOff.PredEvals, cOn.PredEvals)
+	}
+}
+
+// --- E4: §5.3 Alexander focuses recursion on relevant facts ---
+
+func e4Alexander() {
+	header("E4 — fixpoint reduction by the Alexander method (Figure 9, §5.3)",
+		"\"They transform recursive expressions into expressions which focus on relevant facts.\"",
+		"graph | n | answers | emitted raw | emitted rewritten | joinPairs raw | joinPairs rewritten | time raw | time rewritten")
+	shapes := []struct {
+		name   string
+		edges  func(n int) [][2]int
+		sizes  []int
+		rawMax int // unfocused evaluation is superquadratic; skip above this
+	}{
+		{"chain", chain, []int{25, 50, 100, 200, 400, 800}, 200},
+		{"btree", btree, []int{63, 255, 1023}, 255},
+		{"random", func(n int) [][2]int { return randGraph(n, 2*n) }, []int{100, 200}, 200},
+	}
+	for _, sh := range shapes {
+		for _, n := range sh.sizes {
+			target := n / 2
+			q := fmt.Sprintf("SELECT Src FROM TC WHERE Dst = %d", target)
+			on := edgeGraph(sh.edges(n))
+			resOn, cOn, dOn := measure(on, q)
+			rawEmitted, rawPairs, rawTime := "(skipped)", "(skipped)", "(skipped)"
+			if n <= sh.rawMax {
+				off := edgeGraph(sh.edges(n))
+				off.Rewrite = false
+				_, cOff, dOff := measure(off, q)
+				rawEmitted = strconv.Itoa(cOff.Emitted)
+				rawPairs = strconv.Itoa(cOff.JoinPairs)
+				rawTime = round(dOff)
+			}
+			fmt.Printf("%s | %d | %d | %s | %d | %s | %d | %s | %s\n",
+				sh.name, n, len(resOn.Rows), rawEmitted, cOn.Emitted,
+				rawPairs, cOn.JoinPairs, rawTime, round(dOn))
+		}
+	}
+}
+
+func round(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// --- E5: §6.1 inconsistency detected before execution ---
+
+func e5Inconsistency() {
+	header("E5 — domain inconsistency detection (§6.1)",
+		"\"If there exists another constraint on the same attribute, an inconsistency can be detected quickly\" — MEMBER('Cartoon', Categories) is false.",
+		"table rows | scanned raw | scanned rewritten | predEvals raw | predEvals rewritten")
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		q := "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)"
+		on := filmsLike(n)
+		_, cOn, _ := measure(on, q)
+		off := filmsLike(n)
+		off.Rewrite = false
+		_, cOff, _ := measure(off, q)
+		fmt.Printf("%d | %d | %d | %d | %d\n", n, cOff.Scanned, cOn.Scanned, cOff.PredEvals, cOn.PredEvals)
+	}
+}
+
+// --- E6: §6.2 constant folding removes per-tuple work ---
+
+func e6Simplify() {
+	header("E6 — predicate simplification / constant folding (Figure 12, §6.2)",
+		"\"The predicate simplification block ... can perform simple rewriting\" (EVALUATE folding of constant subexpressions).",
+		"foldable conjuncts | rows | predEvals raw | predEvals rewritten | ratio")
+	const n = 20000
+	for _, k := range []int{1, 2, 4, 8} {
+		var preds []string
+		for i := 0; i < k; i++ {
+			preds = append(preds, fmt.Sprintf("%d + %d > %d", i, i+1, i)) // constant, true
+		}
+		preds = append(preds, "Numf > 500")
+		q := "SELECT Title FROM FILM WHERE " + strings.Join(preds, " AND ")
+		on := filmsLike(n)
+		_, cOn, _ := measure(on, q)
+		off := filmsLike(n)
+		off.Rewrite = false
+		_, cOff, _ := measure(off, q)
+		ratio := float64(cOff.PredEvals) / float64(maxInt(cOn.PredEvals, 1))
+		fmt.Printf("%d | %d | %d | %d | %.2fx\n", k, n, cOff.PredEvals, cOn.PredEvals, ratio)
+	}
+}
+
+// --- E7: §7 block-limit trade-off ---
+
+var allBlocks = []string{"typecheck", "normalize", "merge", "push", "fixpoint", "constraints", "semantic", "simplify"}
+
+func limitOpts(limit int) []lera.Option {
+	var opts []lera.Option
+	for _, b := range allBlocks {
+		opts = append(opts, lera.WithBlockLimit(b, limit))
+	}
+	return opts
+}
+
+func e7BlockLimits() {
+	header("E7 — block limits: rewrite effort vs execution work (§7)",
+		"\"If one stops too early (low limit), then the logical optimization can actually complicate the query ... simple queries do not need sophisticated optimization: a 0 limit can then be given.\"",
+		"query | limit | condition checks | emitted | joinPairs")
+	n := 150
+	for _, tc := range []struct {
+		name string
+		q    string
+	}{
+		{"simple (key lookup)", "SELECT Dst FROM EDGE WHERE Src = 7"},
+		{"complex (recursive)", fmt.Sprintf("SELECT Src FROM TC WHERE Dst = %d", n/2)},
+	} {
+		for _, limit := range []int{0, 1, 2, 4, 8, 16, 64, rules.Infinite} {
+			s := edgeGraph(chain(n), limitOpts(limit)...)
+			res, c, _ := measure(s, tc.q)
+			checks := 0
+			if res.Stats != nil {
+				checks = res.Stats.ConditionChecks
+			}
+			lim := strconv.Itoa(limit)
+			if limit == rules.Infinite {
+				lim = "inf"
+			}
+			fmt.Printf("%s | %s | %d | %d | %d\n", tc.name, lim, checks, c.Emitted, c.JoinPairs)
+		}
+	}
+}
+
+// --- E8: §4.2/§5.3 repeated merge blocks ---
+
+func e8RepeatedBlocks() {
+	header("E8 — repeating the merge block after fixpoint reduction (§4.2, §5.3)",
+		"\"The search merging rule is a typical case of rule which takes advantage of being applied more than once (e.g., before and after pushing selections through fixpoints).\"",
+		"sequence | ops after rewrite | emitted | joinPairs")
+	n := 400
+	q := fmt.Sprintf("SELECT Src FROM TC WHERE Dst = %d", n/2)
+	seqs := []struct {
+		name string
+		seq  string
+	}{
+		{"merge once (before fixpoint only)", "seq({typecheck, normalize, merge, push, fixpoint, constraints, semantic, simplify}, 1);"},
+		{"merge repeated (default)", "seq({typecheck, normalize, merge, push, fixpoint, merge, constraints, semantic, simplify, merge}, 2);"},
+	}
+	for _, sq := range seqs {
+		s := edgeGraph(chain(n), lera.WithSequence(sq.seq))
+		res, c, _ := measure(s, q)
+		fmt.Printf("%s | %d | %d | %d\n", sq.name, operatorCount(res.Rewritten), c.Emitted, c.JoinPairs)
+	}
+}
+
+// --- E10: §7 "applicable to query planning" extension ---
+
+func e10Planning() {
+	header("E10 — planning hints: cardinality-ordered joins (§7 extension)",
+		"\"We believe that the ideas developed in this paper might be applicable to query planning.\" (beyond the paper; off by default, WithPlanning)",
+		"big rows | join pairs unplanned | join pairs planned | ratio")
+	for _, n := range []int{1000, 4000, 16000} {
+		build := func(opts ...lera.Option) *lera.Session {
+			s := lera.NewSession(opts...)
+			s.MustExec("TABLE BIG (Id : INT, V : INT); TABLE TINY (K : INT, W : INT);")
+			big := make([][]value.Value, n)
+			for i := range big {
+				big[i] = []value.Value{value.Int(int64(i)), value.Int(int64(i % 7))}
+			}
+			if err := s.DB.Load("BIG", big); err != nil {
+				panic(err)
+			}
+			tiny := make([][]value.Value, 5)
+			for i := range tiny {
+				tiny[i] = []value.Value{value.Int(int64(i)), value.Int(int64(i * 10))}
+			}
+			if err := s.DB.Load("TINY", tiny); err != nil {
+				panic(err)
+			}
+			return s
+		}
+		q := "SELECT BIG.Id FROM BIG, TINY WHERE TINY.K = 3"
+		base := build()
+		_, cBase, _ := measure(base, q)
+		planned := build(lera.WithPlanning())
+		_, cPlan, _ := measure(planned, q)
+		ratio := float64(cBase.JoinPairs) / float64(maxInt(cPlan.JoinPairs, 1))
+		fmt.Printf("%d | %d | %d | %.1fx\n", n, cBase.JoinPairs, cPlan.JoinPairs, ratio)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+// Command edsql is a small interactive shell over the ESQL session:
+// statements end with ';', meta-commands start with '\'.
+//
+//	\q               quit
+//	\rewrite on|off  toggle the rewriter
+//	\plan on|off     print translated/rewritten LERA for each query
+//	\counters        show and reset engine work counters
+//	\films           load the paper's Figure 2-5 example database
+//	\tables          list relations and views
+//	\help            this text
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"lera"
+	"lera/internal/esql"
+	"lera/internal/testdb"
+)
+
+func main() {
+	s := lera.NewSession()
+	showPlan := true
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	fmt.Println("edsql — rule-based query rewriter shell (\\help for help)")
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("edsql> ")
+		} else {
+			fmt.Print("  ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(s, &showPlan, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			src := buf.String()
+			buf.Reset()
+			run(s, showPlan, src)
+		}
+		prompt()
+	}
+}
+
+func meta(s *lera.Session, showPlan *bool, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\rewrite":
+		if len(fields) > 1 {
+			s.Rewrite = fields[1] == "on"
+		}
+		fmt.Println("rewrite:", s.Rewrite)
+	case "\\plan":
+		if len(fields) > 1 {
+			*showPlan = fields[1] == "on"
+		}
+		fmt.Println("plan:", *showPlan)
+	case "\\counters":
+		c := s.DB.Count
+		fmt.Printf("scanned=%d joinPairs=%d emitted=%d predEvals=%d fixIterations=%d\n",
+			c.Scanned, c.JoinPairs, c.Emitted, c.PredEvals, c.FixIterations)
+		s.DB.ResetCounters()
+	case "\\films":
+		if err := loadFilms(s); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("Figure 2 schema, Figure 4/5 views and sample data loaded")
+		}
+	case "\\tables":
+		fmt.Println("relations:", strings.Join(s.Cat.RelationNames(), ", "))
+		fmt.Println("views:    ", strings.Join(s.Cat.ViewNames(), ", "))
+	case "\\help":
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\counters \\films \\tables")
+	default:
+		fmt.Println("unknown meta-command (try \\help)")
+	}
+	return true
+}
+
+func run(s *lera.Session, showPlan bool, src string) {
+	results, err := s.Exec(src)
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	for _, r := range results {
+		if r.Kind == lera.ResultRows && showPlan {
+			fmt.Println("translated:", lera.Format(r.Initial))
+			if s.Rewrite {
+				fmt.Println("rewritten: ", lera.Format(r.Rewritten))
+			}
+		}
+		fmt.Println(lera.FormatResult(r))
+	}
+}
+
+func loadFilms(s *lera.Session) error {
+	if _, err := s.Exec(esql.Figure2DDL); err != nil {
+		return err
+	}
+	if _, err := s.Exec(esql.Figure4View); err != nil {
+		return err
+	}
+	if _, err := s.Exec(esql.Figure5View); err != nil {
+		return err
+	}
+	inst, err := testdb.Data()
+	if err != nil {
+		return err
+	}
+	for name, rows := range inst.Rows {
+		if err := s.DB.Load(name, rows); err != nil {
+			return err
+		}
+	}
+	for oid, obj := range inst.Objects {
+		s.SetObject(oid, obj)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Quickstart: declare a schema, load rows, run a query through the
+// rule-based rewriter and print the result, the translated LERA form and
+// the rewritten form.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lera"
+)
+
+func main() {
+	s := lera.NewSession()
+	s.MustExec(`
+TABLE EMP (Id : INT, Name : CHAR, Dept : CHAR, Salary : NUMERIC);
+
+INSERT INTO EMP VALUES
+  (1, 'Ada', 'R&D', 120000),
+  (2, 'Grace', 'R&D', 130000),
+  (3, 'Edsger', 'Ops', 90000);
+`)
+	// A view: the rewriter merges its expansion back into one search.
+	s.MustExec(`CREATE VIEW RICH (Id, Name) AS SELECT Id, Name FROM EMP WHERE Salary > 100000;`)
+
+	res, err := s.Query("SELECT Name FROM RICH WHERE Id = 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("translated:", lera.Format(res.Initial))
+	fmt.Println("rewritten: ", lera.Format(res.Rewritten))
+	fmt.Println(lera.FormatResult(res))
+}

@@ -1,0 +1,3 @@
+module lera
+
+go 1.22

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lera/internal/catalog"
+	"lera/internal/lera"
+	"lera/internal/term"
+)
+
+// TestBuiltinRuleBaseLint checks the assembled default rule base for
+// internal consistency: every block referenced by the sequence exists,
+// every method call names a registered method, and every constraint is
+// either a known special form (comparisons, connectives, ISA, ground
+// evaluation of pure ADT functions) or a registered constraint function.
+// This is the drift check between rule text and Go externals.
+func TestBuiltinRuleBaseLint(t *testing.T) {
+	rw, err := New(catalog.New(), WithPlanning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.RS.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inBlocks := map[string]bool{}
+	for _, b := range rw.RS.Blocks {
+		for _, rn := range b.Rules {
+			inBlocks[rn] = true
+		}
+	}
+	knownConstraintForms := map[string]bool{
+		"AND": true, "OR": true, "NOT": true, "ISA": true,
+		"=": true, "<>": true, "<": true, ">": true, "<=": true, ">=": true,
+		"MEMBER": true, // ground-evaluable through the ADT registry
+	}
+	for name, r := range rw.RS.Rules {
+		if !inBlocks[name] {
+			t.Errorf("rule %q is in no block (dead rule)", name)
+		}
+		for _, m := range r.Methods {
+			if m.Kind != term.Fun || m.VarHead {
+				t.Errorf("rule %q: method %s is not a fixed-head call", name, m)
+				continue
+			}
+			if !rw.Ext.HasMethod(m.Functor) {
+				t.Errorf("rule %q: method %q is not registered", name, m.Functor)
+			}
+		}
+		for _, c := range r.Constraints {
+			if c.Kind != term.Fun {
+				continue
+			}
+			if c.VarHead || knownConstraintForms[strings.ToUpper(c.Functor)] {
+				continue
+			}
+			if !rw.Ext.HasConstraint(c.Functor) {
+				t.Errorf("rule %q: constraint %q is not registered", name, c.Functor)
+			}
+		}
+		// Right-hand sides may only call builtins where a builtin is
+		// clearly intended (upper bound check: any non-constructor,
+		// non-LERA functor that IS registered as builtin is fine; we
+		// just ensure the known builtins used in text exist).
+		term.Walk(r.RHS, func(s *term.Term, _ term.Path) bool {
+			if s.Kind == term.Fun && !s.VarHead {
+				switch s.Functor {
+				case "APPENDL", "ANDMERGE", "ORMERGE", "SET-UNION", "SETUNION", "MKCALL":
+					if !rw.Ext.HasBuiltin(s.Functor) {
+						t.Errorf("rule %q: builtin %q is not registered", name, s.Functor)
+					}
+				}
+			}
+			return true
+		})
+	}
+	// The sequence must reference every phase block exactly as DESIGN.md
+	// documents.
+	want := []string{"typecheck", "normalize", "merge", "push", "fixpoint", "merge", "constraints", "semantic", "simplify", "merge", "planning"}
+	if strings.Join(rw.RS.Sequence.Blocks, ",") != strings.Join(want, ",") {
+		t.Errorf("sequence = %v, want %v", rw.RS.Sequence.Blocks, want)
+	}
+}
+
+// TestDefaultRuleInventory pins the default rule census: adding or
+// removing a built-in rule must be a conscious act.
+func TestDefaultRuleInventory(t *testing.T) {
+	rw, err := New(catalog.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBlock := map[string]int{}
+	for _, b := range rw.RS.Blocks {
+		byBlock[b.Name] = len(b.Rules)
+	}
+	want := map[string]int{
+		"typecheck":   4,
+		"normalize":   6,
+		"merge":       4,
+		"push":        4,
+		"fixpoint":    1,
+		"constraints": 0,
+		"semantic":    3,
+		"simplify":    14,
+	}
+	for block, n := range want {
+		if byBlock[block] != n {
+			t.Errorf("block %q has %d rules, want %d", block, byBlock[block], n)
+		}
+	}
+	// Every default rule's LHS must be a well-formed pattern (parse
+	// already guarantees functional LHS; re-assert as a guard).
+	for name, r := range rw.RS.Rules {
+		if r.LHS.Kind != term.Fun {
+			t.Errorf("rule %q LHS not functional", name)
+		}
+		_ = lera.Format // anchor the lera import for future golden checks
+	}
+}
+
+// The default rule base's saturating blocks contain only rules whose
+// non-termination risk is covered by no-change detection; Lint reports
+// them (and any dead rules) so implementors can audit extensions.
+func TestRewriterLint(t *testing.T) {
+	rw, err := New(catalog.New(), WithRules(`
+rule grower: TINYF(x) --> BIGF(x, x);
+block(growers, {grower}, inf);
+rule orphan: ORPH(x) --> ORPH2(x);
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := strings.Join(rw.Lint(), "\n")
+	if !strings.Contains(warns, `"grower"`) {
+		t.Errorf("grower should warn: %s", warns)
+	}
+	if !strings.Contains(warns, `"orphan"`) {
+		t.Errorf("orphan should be reported dead: %s", warns)
+	}
+}

@@ -1,0 +1,293 @@
+// Package core assembles the complete rule-based query rewriter of the
+// paper: the type-checking rules (§3.3/§5), the syntactic merging and
+// permutation rules (Figures 7-8), the Alexander fixpoint reduction
+// (Figure 9), the compiled integrity constraints (Figure 10) and the
+// semantic/simplification rules (Figures 11-12), driven by the
+// block/sequence meta-rules of §4.2.
+//
+// The rewriter is extensible exactly as the paper describes: database
+// implementors add rules (WithRules), integrity constraints
+// (WithConstraints / catalog.AddConstraint) and ADT functions
+// (catalog ADT registry) without touching the engine.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lera/internal/catalog"
+	"lera/internal/lera"
+	"lera/internal/lopt"
+	"lera/internal/magic"
+	"lera/internal/rewrite"
+	"lera/internal/rules"
+	"lera/internal/semantic"
+	"lera/internal/term"
+)
+
+// DefaultSequence is the master optimizer sequence (DESIGN.md §5): type
+// checking, normalisation, merging, pushing, fixpoint reduction, merging
+// again (the paper notes search merging "takes advantage of being applied
+// more than once ... before and after pushing selections through
+// fixpoints"), constraint addition, semantic augmentation, simplification
+// and a final merge, the whole list applied up to twice.
+const DefaultSequence = `
+seq({typecheck, normalize, merge, push, fixpoint, merge, constraints, semantic, simplify, merge}, 2);
+`
+
+// Option configures a Rewriter.
+type Option func(*config)
+
+type config struct {
+	trace         bool
+	dynamicLimits bool
+	maxChecks     int
+	extraRules    []string
+	constraintSrc []string
+	constraintLim int
+	sequence      string
+	disableBlocks map[string]bool
+	blockLimits   map[string]int
+}
+
+// WithTrace records a rule-application trace for Explain.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
+// WithDynamicLimits enables the §7 extension: block limits are scaled by
+// query complexity, with 0 for key-lookup-simple queries.
+func WithDynamicLimits() Option { return func(c *config) { c.dynamicLimits = true } }
+
+// WithMaxChecks caps total condition checks (guard against runaway rule
+// sets).
+func WithMaxChecks(n int) Option { return func(c *config) { c.maxChecks = n } }
+
+// WithRules adds implementor-written rules (and blocks/sequence) in the
+// rule language; same-named rules override built-ins.
+func WithRules(src string) Option {
+	return func(c *config) { c.extraRules = append(c.extraRules, src) }
+}
+
+// WithConstraints adds Figure 10-style integrity constraints.
+func WithConstraints(src string) Option {
+	return func(c *config) { c.constraintSrc = append(c.constraintSrc, src) }
+}
+
+// WithConstraintLimit sets the constraints block budget (default 100).
+func WithConstraintLimit(n int) Option { return func(c *config) { c.constraintLim = n } }
+
+// WithSequence replaces the master sequence (rule-language "seq" syntax).
+func WithSequence(src string) Option { return func(c *config) { c.sequence = src } }
+
+// WithoutBlock gives the named block a zero budget — the §7 knob.
+func WithoutBlock(name string) Option {
+	return func(c *config) {
+		if c.disableBlocks == nil {
+			c.disableBlocks = map[string]bool{}
+		}
+		c.disableBlocks[name] = true
+	}
+}
+
+// WithBlockLimit overrides a single block's budget.
+func WithBlockLimit(name string, limit int) Option {
+	return func(c *config) {
+		if c.blockLimits == nil {
+			c.blockLimits = map[string]int{}
+		}
+		c.blockLimits[name] = limit
+	}
+}
+
+// Rewriter is the assembled query rewriter.
+type Rewriter struct {
+	Cat    *catalog.Catalog
+	RS     *rules.RuleSet
+	Ext    *rewrite.Externals
+	cfg    config
+	engine *rewrite.Engine
+}
+
+// New builds a rewriter over a catalog.
+func New(cat *catalog.Catalog, opts ...Option) (*Rewriter, error) {
+	cfg := config{constraintLim: 100}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	ext := lopt.Externals()
+	magic.RegisterExternals(ext)
+	semantic.RegisterExternals(ext)
+	registerTypecheckExternals(ext)
+	registerPlanningExternals(ext)
+
+	rs := rules.NewRuleSet()
+	rs.Merge(rules.MustParse(TypecheckRules))
+	rs.Merge(lopt.RuleSet())
+	rs.Merge(rules.MustParse(magic.FixpointRules))
+	rs.Merge(semantic.RuleSet())
+
+	// Integrity constraints: from options and from the catalog.
+	var constraintRules []string
+	constraintRules = append(constraintRules, cfg.constraintSrc...)
+	consRS := rules.NewRuleSet()
+	var consNames []string
+	for _, src := range constraintRules {
+		parsed, err := semantic.ParseConstraints(src, cfg.constraintLim)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range parsed.RuleOrder {
+			consRS.Rules[n] = parsed.Rules[n]
+			consRS.RuleOrder = append(consRS.RuleOrder, n)
+			consNames = append(consNames, n)
+		}
+	}
+	for _, r := range cat.Constraints() {
+		compiled, err := semantic.CompileConstraint(r)
+		if err != nil {
+			return nil, err
+		}
+		consRS.Rules[compiled.Name] = compiled
+		consRS.RuleOrder = append(consRS.RuleOrder, compiled.Name)
+		consNames = append(consNames, compiled.Name)
+	}
+	consRS.Blocks["constraints"] = &rules.Block{Name: "constraints", Rules: consNames, Limit: cfg.constraintLim}
+	consRS.BlockOrder = []string{"constraints"}
+	rs.Merge(consRS)
+
+	seqSrc := DefaultSequence
+	if cfg.sequence != "" {
+		seqSrc = cfg.sequence
+	}
+	seq, err := rules.ParseSequence(seqSrc)
+	if err != nil {
+		return nil, err
+	}
+	rs.Sequence = seq
+
+	for _, src := range cfg.extraRules {
+		extra, err := rules.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		rs.Merge(extra)
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+
+	rw := &Rewriter{Cat: cat, RS: rs, Ext: ext, cfg: cfg}
+	return rw, nil
+}
+
+// complexity scores a query for the dynamic-limit policy (§7): operator
+// count plus conjunct count, recursion weighted heavily.
+func complexity(q *term.Term) int {
+	score := lera.OperatorCount(q)
+	term.Walk(q, func(s *term.Term, _ term.Path) bool {
+		if lera.IsOp(s, lera.OpFix) {
+			score += 10
+		}
+		if lera.IsOp(s, lera.EAnds) && len(s.Args) == 1 {
+			score += len(s.Args[0].Args)
+		}
+		return true
+	})
+	return score
+}
+
+// simpleThreshold is the complexity at or below which a query is "a
+// search on a key" and gets zero budgets (§7).
+const simpleThreshold = 3
+
+func (r *Rewriter) newEngine(q *term.Term) *rewrite.Engine {
+	opts := rewrite.Options{
+		CollectTrace: r.cfg.trace,
+		MaxChecks:    r.cfg.maxChecks,
+	}
+	limits := map[string]int{}
+	for k, v := range r.cfg.blockLimits {
+		limits[k] = v
+	}
+	for k := range r.cfg.disableBlocks {
+		limits[k] = 0
+	}
+	dynamicZero := r.cfg.dynamicLimits && complexity(q) <= simpleThreshold
+	if len(limits) > 0 || dynamicZero {
+		opts.BlockLimitOverride = func(block string, declared int) int {
+			if v, ok := limits[block]; ok {
+				return v
+			}
+			if dynamicZero {
+				return 0
+			}
+			return declared
+		}
+	}
+	return rewrite.New(r.RS, r.Ext, r.Cat, opts)
+}
+
+// Rewrite runs the full optimizer sequence on a LERA term.
+func (r *Rewriter) Rewrite(q *term.Term) (*term.Term, *rewrite.Stats, error) {
+	e := r.newEngine(q)
+	out, st, err := e.Run(q)
+	r.engine = e
+	return out, st, err
+}
+
+// RewriteBlock runs a single block (for tests and experiments).
+func (r *Rewriter) RewriteBlock(q *term.Term, block string) (*term.Term, *rewrite.Stats, error) {
+	e := r.newEngine(q)
+	out, st, err := e.RunBlock(q, block)
+	r.engine = e
+	return out, st, err
+}
+
+// Trace returns the rule applications of the most recent Rewrite (empty
+// unless WithTrace was given).
+func (r *Rewriter) Trace() []rewrite.TraceEntry {
+	if r.engine == nil {
+		return nil
+	}
+	return r.engine.Trace
+}
+
+// Explain renders a human-readable account of a rewrite: the query before
+// and after, every rule application, and the statistics.
+func (r *Rewriter) Explain(q *term.Term) (string, error) {
+	cfgTrace := r.cfg.trace
+	r.cfg.trace = true
+	out, st, err := r.Rewrite(q)
+	r.cfg.trace = cfgTrace
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "before: %s\n", lera.Format(q))
+	for i, tr := range r.Trace() {
+		fmt.Fprintf(&sb, "%3d. [%s/%s] %s\n     ==> %s\n", i+1, tr.Block, tr.Rule, tr.Before, tr.After)
+	}
+	fmt.Fprintf(&sb, "after:  %s\n", lera.Format(out))
+	fmt.Fprintf(&sb, "stats:  %d condition checks, %d applications, %d rounds\n",
+		st.ConditionChecks, st.Applications, st.Rounds)
+	return sb.String(), nil
+}
+
+// Lint returns advisory findings about the assembled rule base: the §4.2
+// termination analysis (non-decreasing rules in saturating blocks) plus
+// dead rules not referenced by any block.
+func (r *Rewriter) Lint() []string {
+	out := r.RS.TerminationWarnings()
+	inBlocks := map[string]bool{}
+	for _, b := range r.RS.Blocks {
+		for _, rn := range b.Rules {
+			inBlocks[rn] = true
+		}
+	}
+	for _, rn := range r.RS.RuleOrder {
+		if !inBlocks[rn] {
+			out = append(out, fmt.Sprintf("rule %q is not referenced by any block", rn))
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lera/internal/catalog"
+	"lera/internal/engine"
+	"lera/internal/esql"
+	"lera/internal/lera"
+	"lera/internal/rewrite"
+	"lera/internal/term"
+	"lera/internal/translate"
+	"lera/internal/value"
+)
+
+// Session ties the whole pipeline together: ESQL text -> catalog
+// declarations / stored data / translated, rewritten and executed
+// queries. It is what cmd/edsql and the examples drive.
+type Session struct {
+	Cat *catalog.Catalog
+	DB  *engine.DB
+
+	opts    []Option
+	rw      *Rewriter
+	stale   bool
+	Rewrite bool // rewriting enabled (true by default)
+}
+
+// NewSession creates a session with an empty catalog and database.
+func NewSession(opts ...Option) *Session {
+	cat := catalog.New()
+	return &Session{
+		Cat:     cat,
+		DB:      engine.New(cat),
+		opts:    opts,
+		stale:   true,
+		Rewrite: true,
+	}
+}
+
+// Rewriter returns the session's rewriter, rebuilding it after catalog
+// changes (new constraints become rules).
+func (s *Session) Rewriter() (*Rewriter, error) {
+	if s.rw == nil || s.stale {
+		rw, err := New(s.Cat, s.opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.rw = rw
+		s.stale = false
+	}
+	return s.rw, nil
+}
+
+// ResultKind discriminates Exec results.
+type ResultKind int
+
+// Result kinds.
+const (
+	ResultDDL ResultKind = iota
+	ResultInsert
+	ResultRows
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Kind    ResultKind
+	Message string
+
+	// For queries:
+	Columns   []string
+	Rows      [][]value.Value
+	Initial   *term.Term // translated LERA before rewriting
+	Rewritten *term.Term
+	Stats     *rewrite.Stats
+}
+
+// Exec parses and executes a sequence of ESQL statements.
+func (s *Session) Exec(src string) ([]*Result, error) {
+	stmts, err := esql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, st := range stmts {
+		r, err := s.ExecStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MustExec executes or panics; for examples and benchmarks.
+func (s *Session) MustExec(src string) []*Result {
+	rs, err := s.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Query executes a single SELECT and returns its result.
+func (s *Session) Query(src string) (*Result, error) {
+	q, err := esql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecSelect(q)
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(st esql.Stmt) (*Result, error) {
+	switch d := st.(type) {
+	case *esql.TypeDecl:
+		if err := translate.DeclareType(s.Cat, d); err != nil {
+			return nil, err
+		}
+		s.stale = true
+		return &Result{Kind: ResultDDL, Message: fmt.Sprintf("type %s declared", d.Name)}, nil
+	case *esql.TableDecl:
+		if err := translate.DeclareTable(s.Cat, d); err != nil {
+			return nil, err
+		}
+		s.stale = true
+		return &Result{Kind: ResultDDL, Message: fmt.Sprintf("table %s declared", d.Name)}, nil
+	case *esql.ViewDecl:
+		v, err := translate.DeclareView(s.Cat, d)
+		if err != nil {
+			return nil, err
+		}
+		s.stale = true
+		kind := "view"
+		if v.Recursive {
+			kind = "recursive view"
+		}
+		return &Result{Kind: ResultDDL, Message: fmt.Sprintf("%s %s declared", kind, v.Name)}, nil
+	case *esql.InsertStmt:
+		name, rows, err := translate.Insert(s.Cat, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if err := s.DB.Insert(name, row); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Kind: ResultInsert, Message: fmt.Sprintf("%d rows inserted into %s", len(rows), name)}, nil
+	case *esql.Select:
+		return s.ExecSelect(d)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", st)
+}
+
+// ExecSelect translates, rewrites and executes one SELECT.
+func (s *Session) ExecSelect(sel *esql.Select) (*Result, error) {
+	q, err := translate.Select(s.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: ResultRows, Initial: q, Rewritten: q}
+	if s.Rewrite {
+		rw, err := s.Rewriter()
+		if err != nil {
+			return nil, err
+		}
+		rq, st, err := rw.Rewrite(q)
+		if err != nil {
+			return nil, err
+		}
+		res.Rewritten = rq
+		res.Stats = st
+	}
+	schema, err := lera.Infer(res.Rewritten, s.Cat, nil)
+	if err == nil {
+		for _, c := range schema.Cols {
+			res.Columns = append(res.Columns, c.Name)
+		}
+	}
+	rel, err := s.DB.Eval(res.Rewritten)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rel.Rows
+	res.Message = fmt.Sprintf("%d rows", len(rel.Rows))
+	return res, nil
+}
+
+// SetObject registers an object in the session's object store (the ESQL
+// subset has no object-creation statement; examples and tools load
+// objects through this call).
+func (s *Session) SetObject(oid int64, v value.Value) { s.DB.SetObject(oid, v) }
+
+// FormatResult renders a query result as an aligned text table.
+func FormatResult(r *Result) string {
+	if r.Kind != ResultRows {
+		return r.Message
+	}
+	var sb strings.Builder
+	if len(r.Columns) > 0 {
+		sb.WriteString(strings.Join(r.Columns, " | "))
+		sb.WriteString("\n")
+		sb.WriteString(strings.Repeat("-", len(strings.Join(r.Columns, " | "))))
+		sb.WriteString("\n")
+	}
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, " | "))
+		sb.WriteString("\n")
+	}
+	sb.WriteString(r.Message)
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package core
+
+// The type-checking function rules of Section 5 ("the first activity
+// infers generic functions by doing type checking"): raw CALL applications
+// emitted by the translator are rewritten into the correct generic form —
+// object dereference through VALUE, tuple attribute access through
+// PROJECT (broadcast over collections per §2.2), and direct ADT function
+// application. This is the rewriter's role of §3.3: "correctly infer types
+// and add the necessary conversion functions", e.g.
+//
+//	Salary(Refactor) > 1000  ==>  PROJECT(VALUE(Refactor), Salary) > 1000.
+
+import (
+	"fmt"
+
+	"lera/internal/lera"
+	"lera/internal/rewrite"
+	"lera/internal/term"
+	"lera/internal/types"
+)
+
+// TypecheckRules is the type-checking rule block.
+const TypecheckRules = `
+rule call_object_field: CALL(f, x) / ISOBJECTT(x), HASFIELD(x, f) --> PROJECT(VALUE(x), f) ;
+rule call_tuple_field:  CALL(f, x) / ISTUPLET(x), HASFIELD(x, f) --> PROJECT(x, f) ;
+rule call_coll_field:   CALL(f, x) / ISCOLLT(x), HASFIELD(x, f) --> PROJECT(x, f) ;
+rule call_adt:          CALL(f, w*) / ISADTFN(f) --> MKCALL(f, w*) ;
+
+block(typecheck, {call_object_field, call_tuple_field, call_coll_field, call_adt}, inf);
+`
+
+// registerTypecheckExternals installs the typing constraints and the
+// MKCALL builtin.
+func registerTypecheckExternals(ext *rewrite.Externals) {
+	typeAt := func(ctx *rewrite.Ctx, x *term.Term) *types.Type {
+		rels, err := ctx.EnclosingRels()
+		if err != nil {
+			return nil
+		}
+		t, err := lera.TypeOf(x, rels, ctx.Cat)
+		if err != nil {
+			return nil
+		}
+		return t
+	}
+
+	ext.RegisterConstraint("ISOBJECTT", func(ctx *rewrite.Ctx, args []*term.Term) (bool, error) {
+		if len(args) != 1 {
+			return false, fmt.Errorf("ISOBJECTT takes one expression")
+		}
+		t := typeAt(ctx, args[0])
+		return t != nil && t.IsObject, nil
+	})
+	ext.RegisterConstraint("ISTUPLET", func(ctx *rewrite.Ctx, args []*term.Term) (bool, error) {
+		if len(args) != 1 {
+			return false, fmt.Errorf("ISTUPLET takes one expression")
+		}
+		t := typeAt(ctx, args[0])
+		return t != nil && t.Kind == types.Tuple && !t.IsObject, nil
+	})
+	// ISCOLLT: a collection of tuples or objects (broadcast projection).
+	ext.RegisterConstraint("ISCOLLT", func(ctx *rewrite.Ctx, args []*term.Term) (bool, error) {
+		if len(args) != 1 {
+			return false, fmt.Errorf("ISCOLLT takes one expression")
+		}
+		t := typeAt(ctx, args[0])
+		return t != nil && t.Kind == types.Collection && t.Elem != nil && t.Elem.Kind == types.Tuple, nil
+	})
+	// HASFIELD(x, 'Name'): x's (element) tuple type has the named field.
+	ext.RegisterConstraint("HASFIELD", func(ctx *rewrite.Ctx, args []*term.Term) (bool, error) {
+		if len(args) != 2 || args[1].Kind != term.Const {
+			return false, fmt.Errorf("HASFIELD takes (expr, 'field')")
+		}
+		t := typeAt(ctx, args[0])
+		if t == nil {
+			return false, nil
+		}
+		if t.Kind == types.Collection && t.Elem != nil {
+			t = t.Elem
+		}
+		_, ok := t.FieldType(args[1].Val.S)
+		return ok, nil
+	})
+	// ISADTFN('MEMBER'): the name is a registered ADT function.
+	ext.RegisterConstraint("ISADTFN", func(ctx *rewrite.Ctx, args []*term.Term) (bool, error) {
+		if len(args) != 1 || args[0].Kind != term.Const {
+			return false, fmt.Errorf("ISADTFN takes a function name")
+		}
+		_, ok := ctx.Cat.ADTs.Lookup(args[0].Val.S)
+		return ok, nil
+	})
+	// MKCALL('MEMBER', args...) builds the direct application
+	// MEMBER(args...) — a builtin because the functor is dynamic.
+	ext.RegisterBuiltin("MKCALL", func(ctx *rewrite.Ctx, args []*term.Term) (*term.Term, error) {
+		if len(args) < 1 || args[0].Kind != term.Const {
+			return nil, fmt.Errorf("MKCALL requires a constant function name")
+		}
+		return term.F(args[0].Val.S, args[1:]...), nil
+	})
+}

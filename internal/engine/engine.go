@@ -1,0 +1,414 @@
+// Package engine evaluates LERA terms over an in-memory database: the
+// measurement substrate standing in for the paper's EDS parallel server
+// (see DESIGN.md §3). It implements every LERA operator — the compound
+// search with hash-join planning, n-ary union/intersection, difference,
+// nest/unnest, LET and the fixpoint operator with both naive and
+// semi-naive iteration — plus the expression language of qualifications
+// and projections, including object dereference (VALUE), tuple attribute
+// projection with collection broadcast, and ADT function calls.
+//
+// The engine keeps work counters (tuples scanned, join pairs produced,
+// tuples emitted, fixpoint iterations); the benchmark harness reports
+// these machine-independent numbers alongside wall-clock timings.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"lera/internal/catalog"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// Relation is an evaluated relation: a bag of rows.
+type Relation struct {
+	Rows [][]value.Value
+}
+
+// Arity returns the width of the relation (0 when empty).
+func (r *Relation) Arity() int {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return len(r.Rows[0])
+}
+
+// Key encodes a row for hashing and duplicate elimination.
+func rowKey(row []value.Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(v.Key())
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// Dedup returns the relation with duplicate rows removed (set semantics).
+func (r *Relation) Dedup() *Relation {
+	seen := map[string]bool{}
+	out := &Relation{}
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Counters aggregate engine work.
+type Counters struct {
+	Scanned       int // rows read from stored relations
+	JoinPairs     int // rows produced by join steps (before final filter)
+	Emitted       int // rows emitted by operators
+	PredEvals     int // qualification conjuncts evaluated against rows
+	FixIterations int // fixpoint rounds executed
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Scanned += other.Scanned
+	c.JoinPairs += other.JoinPairs
+	c.Emitted += other.Emitted
+	c.PredEvals += other.PredEvals
+	c.FixIterations += other.FixIterations
+}
+
+// FixMode selects the fixpoint evaluation strategy.
+type FixMode int
+
+const (
+	// SemiNaive evaluates recursive members against the delta of the
+	// previous round (per-occurrence for non-linear recursion).
+	SemiNaive FixMode = iota
+	// Naive re-evaluates the whole body against the full accumulated
+	// relation every round.
+	Naive
+)
+
+// DB is an in-memory database instance: stored relations, the object
+// store, and the catalog for schema information.
+type DB struct {
+	Cat     *catalog.Catalog
+	Objects map[int64]value.Value
+	Mode    FixMode
+	Count   Counters
+
+	rels map[string]*Relation
+}
+
+// New creates an empty database over a catalog.
+func New(cat *catalog.Catalog) *DB {
+	return &DB{Cat: cat, Objects: map[int64]value.Value{}, rels: map[string]*Relation{}}
+}
+
+// Load stores rows under a relation name, validating arity against the
+// catalog when the relation is declared.
+func (db *DB) Load(name string, rows [][]value.Value) error {
+	if rel, ok := db.Cat.Relation(name); ok {
+		for i, row := range rows {
+			if len(row) != len(rel.Columns) {
+				return fmt.Errorf("engine: %s row %d has %d values, schema has %d columns", name, i, len(row), len(rel.Columns))
+			}
+		}
+	}
+	db.rels[strings.ToUpper(name)] = &Relation{Rows: rows}
+	if rel, ok := db.Cat.Relation(name); ok {
+		rel.EstRows = len(rows)
+	}
+	return nil
+}
+
+// Insert appends a single row.
+func (db *DB) Insert(name string, row []value.Value) error {
+	key := strings.ToUpper(name)
+	r := db.rels[key]
+	if r == nil {
+		r = &Relation{}
+		db.rels[key] = r
+	}
+	if rel, ok := db.Cat.Relation(name); ok && len(row) != len(rel.Columns) {
+		return fmt.Errorf("engine: %s: %d values for %d columns", name, len(row), len(rel.Columns))
+	}
+	r.Rows = append(r.Rows, row)
+	if rel, ok := db.Cat.Relation(name); ok {
+		rel.EstRows = len(r.Rows)
+	}
+	return nil
+}
+
+// SetObject stores an object value under an OID.
+func (db *DB) SetObject(oid int64, v value.Value) { db.Objects[oid] = v }
+
+// Stored returns the stored relation (nil if absent).
+func (db *DB) Stored(name string) *Relation { return db.rels[strings.ToUpper(name)] }
+
+// ResetCounters zeroes the work counters.
+func (db *DB) ResetCounters() { db.Count = Counters{} }
+
+// env binds FIX/LET names to evaluated relations during evaluation.
+type env map[string]*Relation
+
+func (e env) clone() env {
+	ne := env{}
+	for k, v := range e {
+		ne[k] = v
+	}
+	return ne
+}
+
+// Eval evaluates a relational LERA term.
+func (db *DB) Eval(t *term.Term) (*Relation, error) {
+	return db.eval(t, env{})
+}
+
+func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
+	if t.Kind != term.Fun {
+		return nil, fmt.Errorf("engine: cannot evaluate %s", t)
+	}
+	switch t.Functor {
+	case "REL":
+		name := strings.ToUpper(t.Args[0].Val.S)
+		if r, ok := e[name]; ok {
+			return r, nil
+		}
+		if r, ok := db.rels[name]; ok {
+			db.Count.Scanned += len(r.Rows)
+			return r, nil
+		}
+		if v, ok := db.Cat.View(name); ok {
+			return db.eval(v.Def, e)
+		}
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+
+	case "SEARCH":
+		return db.evalSearch(t, e)
+
+	case "FILTER":
+		in, err := db.eval(t.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		out := &Relation{}
+		for _, row := range in.Rows {
+			ok, err := db.evalBool(t.Args[1], [][]value.Value{row})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		out = out.Dedup()
+		db.Count.Emitted += len(out.Rows)
+		return out, nil
+
+	case "JOIN":
+		left, err := db.eval(t.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.eval(t.Args[1], e)
+		if err != nil {
+			return nil, err
+		}
+		out := &Relation{}
+		for _, l := range left.Rows {
+			for _, r := range right.Rows {
+				db.Count.JoinPairs++
+				ok, err := db.evalBool(t.Args[2], [][]value.Value{l, r})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out.Rows = append(out.Rows, append(append([]value.Value(nil), l...), r...))
+				}
+			}
+		}
+		out = out.Dedup()
+		db.Count.Emitted += len(out.Rows)
+		return out, nil
+
+	case "UNIONN":
+		out := &Relation{}
+		for _, m := range t.Args[0].Args {
+			r, err := db.eval(m, e)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, r.Rows...)
+		}
+		out = out.Dedup()
+		db.Count.Emitted += len(out.Rows)
+		return out, nil
+
+	case "INTERN":
+		members := t.Args[0].Args
+		if len(members) == 0 {
+			return nil, fmt.Errorf("engine: empty intersection")
+		}
+		acc, err := db.eval(members[0], e)
+		if err != nil {
+			return nil, err
+		}
+		keys := map[string]bool{}
+		for _, row := range acc.Rows {
+			keys[rowKey(row)] = true
+		}
+		for _, m := range members[1:] {
+			r, err := db.eval(m, e)
+			if err != nil {
+				return nil, err
+			}
+			next := map[string]bool{}
+			for _, row := range r.Rows {
+				k := rowKey(row)
+				if keys[k] {
+					next[k] = true
+				}
+			}
+			keys = next
+		}
+		out := &Relation{}
+		seen := map[string]bool{}
+		for _, row := range acc.Rows {
+			k := rowKey(row)
+			if keys[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		db.Count.Emitted += len(out.Rows)
+		return out, nil
+
+	case "DIFF":
+		left, err := db.eval(t.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.eval(t.Args[1], e)
+		if err != nil {
+			return nil, err
+		}
+		drop := map[string]bool{}
+		for _, row := range right.Rows {
+			drop[rowKey(row)] = true
+		}
+		out := &Relation{}
+		seen := map[string]bool{}
+		for _, row := range left.Rows {
+			k := rowKey(row)
+			if !drop[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		db.Count.Emitted += len(out.Rows)
+		return out, nil
+
+	case "LET":
+		def, err := db.eval(t.Args[1], e)
+		if err != nil {
+			return nil, err
+		}
+		inner := e.clone()
+		inner[strings.ToUpper(t.Args[0].Val.S)] = def
+		return db.eval(t.Args[2], inner)
+
+	case "FIX":
+		return db.evalFix(t, e)
+
+	case "NEST":
+		return db.evalNest(t, e)
+
+	case "UNNEST":
+		return db.evalUnnest(t, e)
+	}
+	return nil, fmt.Errorf("engine: unknown operator %s", t.Functor)
+}
+
+func (db *DB) evalNest(t *term.Term, e env) (*Relation, error) {
+	in, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	nested := map[int]bool{}
+	var nestedIdx []int
+	for _, ix := range t.Args[1].Args {
+		j := int(ix.Val.I)
+		nested[j] = true
+		nestedIdx = append(nestedIdx, j)
+	}
+	type group struct {
+		key   []value.Value
+		elems []value.Value
+	}
+	order := []string{}
+	groups := map[string]*group{}
+	for _, row := range in.Rows {
+		if len(nestedIdx) > 0 && nestedIdx[len(nestedIdx)-1] > len(row) {
+			return nil, fmt.Errorf("engine: NEST index out of range for row of width %d", len(row))
+		}
+		var key []value.Value
+		for j := 1; j <= len(row); j++ {
+			if !nested[j] {
+				key = append(key, row[j-1])
+			}
+		}
+		var elem value.Value
+		if len(nestedIdx) == 1 {
+			elem = row[nestedIdx[0]-1]
+		} else {
+			names := make([]string, len(nestedIdx))
+			vals := make([]value.Value, len(nestedIdx))
+			for i, j := range nestedIdx {
+				names[i] = fmt.Sprintf("a%d", j)
+				vals[i] = row[j-1]
+			}
+			elem = value.NewTuple(names, vals)
+		}
+		k := rowKey(key)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.elems = append(g.elems, elem)
+	}
+	out := &Relation{}
+	for _, k := range order {
+		g := groups[k]
+		out.Rows = append(out.Rows, append(append([]value.Value(nil), g.key...), value.NewSet(g.elems...)))
+	}
+	db.Count.Emitted += len(out.Rows)
+	return out, nil
+}
+
+func (db *DB) evalUnnest(t *term.Term, e env) (*Relation, error) {
+	in, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	j := int(t.Args[1].Val.I)
+	out := &Relation{}
+	for _, row := range in.Rows {
+		if j < 1 || j > len(row) {
+			return nil, fmt.Errorf("engine: UNNEST index %d out of range", j)
+		}
+		coll := row[j-1]
+		if !coll.K.IsCollection() {
+			return nil, fmt.Errorf("engine: UNNEST column %d is %s, not a collection", j, coll.K)
+		}
+		for _, el := range coll.Elems {
+			nrow := append([]value.Value(nil), row...)
+			nrow[j-1] = el
+			out.Rows = append(out.Rows, nrow)
+		}
+	}
+	out = out.Dedup()
+	db.Count.Emitted += len(out.Rows)
+	return out, nil
+}

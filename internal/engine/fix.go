@@ -1,0 +1,169 @@
+package engine
+
+// The fixpoint operator of §3.2: fix(R, E(R)) computes the saturation
+// R = E(R). Two strategies are provided: naive iteration (re-evaluate the
+// whole body against the accumulated relation each round) and semi-naive
+// iteration (evaluate each recursive union member once per occurrence of
+// R, with that occurrence bound to the previous round's delta — the
+// standard treatment, correct for linear and bilinear recursions such as
+// the Figure 5 BETTER_THAN view).
+
+import (
+	"fmt"
+	"strings"
+
+	"lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// deltaName is the reserved environment name for the per-occurrence delta
+// substitution of semi-naive evaluation.
+const deltaName = "\x00DELTA"
+
+func (db *DB) evalFix(t *term.Term, e env) (*Relation, error) {
+	name := strings.ToUpper(t.Args[0].Val.S)
+	body := t.Args[1]
+	if db.Mode == Naive {
+		return db.fixNaive(name, body, e)
+	}
+	return db.fixSemiNaive(name, body, e)
+}
+
+func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
+	total := &Relation{}
+	seen := map[string]bool{}
+	for {
+		db.Count.FixIterations++
+		inner := e.clone()
+		inner[name] = total
+		r, err := db.eval(body, inner)
+		if err != nil {
+			return nil, err
+		}
+		grew := false
+		next := &Relation{Rows: append([][]value.Value(nil), total.Rows...)}
+		for _, row := range r.Rows {
+			k := rowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				next.Rows = append(next.Rows, row)
+				grew = true
+			}
+		}
+		total = next
+		if !grew {
+			return total, nil
+		}
+		if db.Count.FixIterations > maxFixIterations {
+			return nil, fmt.Errorf("engine: fixpoint %s exceeded %d iterations", name, maxFixIterations)
+		}
+	}
+}
+
+// maxFixIterations guards against non-monotone bodies.
+const maxFixIterations = 1_000_000
+
+func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, error) {
+	// Split the body into base members (no reference to name) and
+	// recursive members. A body that is not a UNIONN falls back to naive
+	// evaluation.
+	refs := func(m *term.Term) bool {
+		return term.Contains(m, func(s *term.Term) bool {
+			n, ok := lera.RelName(s)
+			return ok && strings.EqualFold(n, name)
+		})
+	}
+	if !lera.IsOp(body, lera.OpUnion) {
+		return db.fixNaive(name, body, e)
+	}
+	var base, rec []*term.Term
+	for _, m := range body.Args[0].Args {
+		if refs(m) {
+			rec = append(rec, m)
+		} else {
+			base = append(base, m)
+		}
+	}
+
+	total := &Relation{}
+	seen := map[string]bool{}
+	add := func(rows [][]value.Value) *Relation {
+		delta := &Relation{}
+		for _, row := range rows {
+			k := rowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				total.Rows = append(total.Rows, row)
+				delta.Rows = append(delta.Rows, row)
+			}
+		}
+		return delta
+	}
+
+	// Round 0: base members.
+	db.Count.FixIterations++
+	var firstRows [][]value.Value
+	for _, m := range base {
+		r, err := db.eval(m, e)
+		if err != nil {
+			return nil, err
+		}
+		firstRows = append(firstRows, r.Rows...)
+	}
+	delta := add(firstRows)
+
+	for len(delta.Rows) > 0 {
+		db.Count.FixIterations++
+		if db.Count.FixIterations > maxFixIterations {
+			return nil, fmt.Errorf("engine: fixpoint %s exceeded %d iterations", name, maxFixIterations)
+		}
+		var newRows [][]value.Value
+		for _, m := range rec {
+			occ := countOccurrences(m, name)
+			for k := 0; k < occ; k++ {
+				mk := substituteOccurrence(m, name, k)
+				inner := e.clone()
+				inner[name] = total
+				inner[deltaName] = delta
+				r, err := db.eval(mk, inner)
+				if err != nil {
+					return nil, err
+				}
+				newRows = append(newRows, r.Rows...)
+			}
+		}
+		delta = add(newRows)
+	}
+	return total, nil
+}
+
+func countOccurrences(m *term.Term, name string) int {
+	return term.Count(m, func(s *term.Term) bool {
+		n, ok := lera.RelName(s)
+		return ok && strings.EqualFold(n, name)
+	})
+}
+
+// substituteOccurrence replaces the k-th (preorder) occurrence of
+// REL(name) in m with REL(deltaName).
+func substituteOccurrence(m *term.Term, name string, k int) *term.Term {
+	idx := -1
+	found := false
+	var target term.Path
+	term.Walk(m, func(s *term.Term, p term.Path) bool {
+		if n, ok := lera.RelName(s); ok && strings.EqualFold(n, name) {
+			idx++
+			if idx == k {
+				target = p.Clone()
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		return m
+	}
+	return term.ReplaceAt(m, target, lera.Rel(deltaName))
+}

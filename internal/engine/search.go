@@ -1,0 +1,235 @@
+package engine
+
+// Evaluation of the compound SEARCH operator (§3.1): the relation list is
+// joined left-to-right, using a hash join whenever the qualification
+// supplies an equi-join conjunct connecting the accumulated prefix to the
+// next relation, and a nested-loop (cartesian) step otherwise. Conjuncts
+// are applied as early as their attribute references allow; the projection
+// is computed last.
+
+import (
+	"fmt"
+
+	"lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+type searchPlan struct {
+	rels  []*Relation
+	conjs []conjunct
+	projs []*term.Term
+}
+
+type conjunct struct {
+	expr   *term.Term
+	maxRel int // highest relation index referenced (0 = none)
+	used   bool
+}
+
+func maxRelIndex(e *term.Term) int {
+	max := 0
+	term.Walk(e, func(s *term.Term, _ term.Path) bool {
+		if i, _, ok := lera.AttrIdx(s); ok && i > max {
+			max = i
+		}
+		return true
+	})
+	return max
+}
+
+func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
+	relTerms := t.Args[0].Args
+	if len(relTerms) == 0 {
+		return nil, fmt.Errorf("engine: SEARCH with empty relation list")
+	}
+	// A statically false qualification short-circuits before any stored
+	// relation is touched — the payoff of the semantic inconsistency
+	// rules (§6.2): zero tuples scanned.
+	for _, c := range lera.Conjuncts(t.Args[1]) {
+		if c.Kind == term.Const && c.Val.K == value.KBool && !c.Val.B {
+			return &Relation{}, nil
+		}
+	}
+	plan := &searchPlan{projs: t.Args[2].Args}
+	for _, rt := range relTerms {
+		r, err := db.eval(rt, e)
+		if err != nil {
+			return nil, err
+		}
+		plan.rels = append(plan.rels, r)
+	}
+	for _, c := range lera.Conjuncts(t.Args[1]) {
+		plan.conjs = append(plan.conjs, conjunct{expr: c, maxRel: maxRelIndex(c)})
+	}
+
+	// Join left to right. rows holds flattened prefixes; widths[i] is the
+	// arity of relation i (taken from its first row; empty relations
+	// short-circuit to an empty result).
+	widths := make([]int, len(plan.rels))
+	for i, r := range plan.rels {
+		if len(r.Rows) == 0 {
+			return &Relation{}, nil
+		}
+		widths[i] = len(r.Rows[0])
+	}
+	offset := make([]int, len(plan.rels)+1)
+	for i, w := range widths {
+		offset[i+1] = offset[i] + w
+	}
+
+	// attrSlot maps ATTR(i, j) to a flat column index.
+	attrSlot := func(i, j int) int { return offset[i-1] + j - 1 }
+
+	current, err := db.filterRows(plan.rels[0].Rows, plan, 1, widths[:1])
+	if err != nil {
+		return nil, err
+	}
+
+	for ri := 2; ri <= len(plan.rels); ri++ {
+		next := plan.rels[ri-1].Rows
+		// Find equi-join conjuncts ATTR(a,x) = ATTR(b,y) with one side in
+		// the prefix (< ri) and the other in relation ri.
+		var leftKeys, rightKeys []int
+		for ci := range plan.conjs {
+			c := &plan.conjs[ci]
+			if c.used || c.expr.Kind != term.Fun || c.expr.Functor != "=" || len(c.expr.Args) != 2 {
+				continue
+			}
+			ai, aj, okA := lera.AttrIdx(c.expr.Args[0])
+			bi, bj, okB := lera.AttrIdx(c.expr.Args[1])
+			if !okA || !okB {
+				continue
+			}
+			switch {
+			case ai < ri && bi == ri:
+				leftKeys = append(leftKeys, attrSlot(ai, aj))
+				rightKeys = append(rightKeys, bj-1)
+				c.used = true
+			case bi < ri && ai == ri:
+				leftKeys = append(leftKeys, attrSlot(bi, bj))
+				rightKeys = append(rightKeys, aj-1)
+				c.used = true
+			}
+		}
+		var joined [][]value.Value
+		if len(leftKeys) > 0 {
+			// Hash join: build on the new relation, probe with prefix.
+			build := map[string][][]value.Value{}
+			for _, row := range next {
+				var kb []value.Value
+				for _, k := range rightKeys {
+					kb = append(kb, row[k])
+				}
+				key := rowKey(kb)
+				build[key] = append(build[key], row)
+			}
+			for _, prow := range current {
+				var kb []value.Value
+				for _, k := range leftKeys {
+					kb = append(kb, prow[k])
+				}
+				for _, rrow := range build[rowKey(kb)] {
+					db.Count.JoinPairs++
+					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
+				}
+			}
+		} else {
+			for _, prow := range current {
+				for _, rrow := range next {
+					db.Count.JoinPairs++
+					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
+				}
+			}
+		}
+		current, err = db.filterRows(joined, plan, ri, widths[:ri])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Any conjuncts not yet applied (e.g. referencing no attributes).
+	out := &Relation{}
+	for _, row := range current {
+		ok := true
+		for ci := range plan.conjs {
+			c := &plan.conjs[ci]
+			if c.used {
+				continue
+			}
+			rows := splitRow(row, widths)
+			b, err := db.evalBool(c.expr, rows)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		rows := splitRow(row, widths)
+		var prow []value.Value
+		for _, p := range plan.projs {
+			v, err := db.evalExpr(p, rows)
+			if err != nil {
+				return nil, err
+			}
+			prow = append(prow, v)
+		}
+		out.Rows = append(out.Rows, prow)
+	}
+	// LERA is an extension of Codd's algebra: relations are sets, so the
+	// projection output deduplicates. This is what makes pushing a
+	// search through a set union sound for non-injective projections.
+	out = out.Dedup()
+	db.Count.Emitted += len(out.Rows)
+	return out, nil
+}
+
+// filterRows applies every unused conjunct whose references are confined
+// to the first upto relations.
+func (db *DB) filterRows(rows [][]value.Value, plan *searchPlan, upto int, widths []int) ([][]value.Value, error) {
+	var active []*conjunct
+	for ci := range plan.conjs {
+		c := &plan.conjs[ci]
+		if !c.used && c.maxRel >= 1 && c.maxRel <= upto {
+			active = append(active, c)
+			c.used = true
+		}
+	}
+	if len(active) == 0 {
+		return rows, nil
+	}
+	var out [][]value.Value
+	for _, row := range rows {
+		split := splitRow(row, widths)
+		keep := true
+		for _, c := range active {
+			b, err := db.evalBool(c.expr, split)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func splitRow(row []value.Value, widths []int) [][]value.Value {
+	out := make([][]value.Value, len(widths))
+	pos := 0
+	for i, w := range widths {
+		out[i] = row[pos : pos+w]
+		pos += w
+	}
+	return out
+}

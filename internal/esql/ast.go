@@ -1,0 +1,197 @@
+// Package esql implements the front end for ESQL, the extended SQL of the
+// paper's Section 2: type declarations over generic collection ADTs,
+// object types with inheritance, table declarations, (recursive) view
+// definitions, SELECT queries with ADT function calls and the ALL/EXIST
+// set quantifiers, and INSERT statements with collection literals.
+package esql
+
+import (
+	"strings"
+
+	"lera/internal/value"
+)
+
+// Stmt is a parsed ESQL statement.
+type Stmt interface{ stmt() }
+
+// TypeRef references a type by name, as an inline collection constructor
+// (SET OF CHAR, LIST OF Point, ...) or as an inline tuple
+// (TUPLE (Pros : INT, Cons : INT), as in Figure 2's Pairs).
+type TypeRef struct {
+	Name     string      // named reference, or "" for inline constructors
+	CollKind value.Kind  // KSet/KBag/KList/KArray for inline collections
+	Elem     *TypeRef    // element type for inline collections
+	Fields   []FieldDecl // inline tuple fields
+}
+
+// String renders the reference in ESQL syntax.
+func (r *TypeRef) String() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	if len(r.Fields) > 0 {
+		parts := make([]string, len(r.Fields))
+		for i, f := range r.Fields {
+			parts[i] = f.Name + " : " + f.Type.String()
+		}
+		return "TUPLE (" + strings.Join(parts, ", ") + ")"
+	}
+	return strings.ToUpper(r.CollKind.String()) + " OF " + r.Elem.String()
+}
+
+// FieldDecl is a "name : type" component.
+type FieldDecl struct {
+	Name string
+	Type *TypeRef
+}
+
+// TypeDeclKind discriminates TYPE declarations.
+type TypeDeclKind int
+
+const (
+	// TypeEnum is TYPE name ENUMERATION OF (...).
+	TypeEnum TypeDeclKind = iota
+	// TypeTuple is TYPE name [OBJECT] TUPLE (...), optionally SUBTYPE OF.
+	TypeTuple
+	// TypeColl is TYPE name SET/BAG/LIST/ARRAY OF elem.
+	TypeColl
+)
+
+// TypeDecl is a TYPE declaration (Figure 2).
+type TypeDecl struct {
+	Name     string
+	Kind     TypeDeclKind
+	Object   bool
+	Super    string // SUBTYPE OF parent, or ""
+	EnumVals []string
+	Fields   []FieldDecl
+	CollKind value.Kind
+	Elem     *TypeRef
+	// Methods records FUNCTION declarations attached to the type; only
+	// the names are kept (implementations are registered through the ADT
+	// registry, the C++ of the paper replaced by Go).
+	Methods []string
+}
+
+func (*TypeDecl) stmt() {}
+
+// TableDecl is a TABLE declaration.
+type TableDecl struct {
+	Name string
+	Cols []FieldDecl
+}
+
+func (*TableDecl) stmt() {}
+
+// ViewDecl is CREATE VIEW name (cols) AS select [UNION select ...]. A view
+// is recursive when one of its selects references the view itself
+// (Figure 5).
+type ViewDecl struct {
+	Name    string
+	Cols    []string
+	Selects []*Select
+}
+
+func (*ViewDecl) stmt() {}
+
+// Recursive reports whether the view references itself in a FROM clause.
+func (v *ViewDecl) Recursive() bool {
+	for _, s := range v.Selects {
+		for _, tr := range s.From {
+			if strings.EqualFold(tr.Table, v.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Select is a SELECT block.
+type Select struct {
+	Proj    []Expr
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []Expr
+}
+
+func (*Select) stmt() {}
+
+// TableRef is a FROM item: table or view name with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // "" when absent
+}
+
+// InsertStmt is INSERT INTO table VALUES (...), (...), ....
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// --- expressions ---
+
+// Expr is a parsed ESQL expression.
+type Expr interface{ expr() }
+
+// Lit is a literal constant.
+type Lit struct{ Val value.Value }
+
+func (*Lit) expr() {}
+
+// Ref is a column reference: bare name or qualified R.attr.
+type Ref struct {
+	Qualifier string // table name or alias, "" when bare
+	Name      string
+}
+
+func (*Ref) expr() {}
+
+// App is a function application F(args...): an ADT method, an attribute
+// used as a function (Section 2.1), or a built-in like MEMBER or MakeSet.
+type App struct {
+	Fn   string
+	Args []Expr
+}
+
+func (*App) expr() {}
+
+// Bin is a binary operation: comparison, arithmetic, AND, OR.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Bin) expr() {}
+
+// Not is logical negation.
+type Not struct{ Arg Expr }
+
+func (*Not) expr() {}
+
+// Quant is the ALL/EXIST set quantifier of Figure 4: ALL(expr) where expr
+// evaluates to a collection of booleans.
+type Quant struct {
+	All bool
+	Arg Expr
+}
+
+func (*Quant) expr() {}
+
+// CollLit is a collection literal SET(...), LIST(...), BAG(...), ARRAY(...)
+// used in INSERT statements.
+type CollLit struct {
+	Kind  value.Kind
+	Elems []Expr
+}
+
+func (*CollLit) expr() {}
+
+// TupleLit is TUPLE(name: expr, ...).
+type TupleLit struct {
+	Names []string
+	Elems []Expr
+}
+
+func (*TupleLit) expr() {}

@@ -1,0 +1,69 @@
+package esql
+
+// The paper's running examples (Figures 2-5) in ESQL source form, shared
+// by tests, examples and the benchmark harness. Hyphenated relation names
+// are spelled with underscores (APPEARS-IN -> APPEARS_IN) and the OCR
+// artifact "10 0OO" is written 10000.
+
+// Figure2DDL is the Figure 2 schema: type definitions and relations.
+const Figure2DDL = `
+TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western');
+TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+TYPE Person OBJECT TUPLE (
+    Name : CHAR,
+    Firstname : SET OF CHAR,
+    Caricature : LIST OF Point);
+TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+    FUNCTION IncreaseSalary (This : Actor, Val : NUMERIC);
+TYPE Text LIST OF CHAR;
+TYPE SetCategory SET OF Category;
+TYPE Pairs LIST OF TUPLE (Pros : INT, Cons : INT);
+
+TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
+TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor);
+TABLE DOMINATE (Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor, Score : Pairs);
+`
+
+// Figure3Query finds the titles, categories and salary of films of
+// category 'Adventure' in which Quinn appears.
+const Figure3Query = `
+SELECT Title, Categories, Salary(Refactor)
+FROM FILM, APPEARS_IN
+WHERE FILM.Numf = APPEARS_IN.Numf
+  AND Name(Refactor) = 'Quinn'
+  AND MEMBER('Adventure', Categories);
+`
+
+// Figure4View is the nested view built with GROUP BY and MakeSet.
+const Figure4View = `
+CREATE VIEW FilmActors (Title, Categories, Actors) AS
+SELECT Title, Categories, MakeSet(Refactor)
+FROM FILM, APPEARS_IN
+WHERE FILM.Numf = APPEARS_IN.Numf
+GROUP BY Title, Categories;
+`
+
+// Figure4Query uses the ALL set quantifier over the nested Actors column.
+const Figure4Query = `
+SELECT Title
+FROM FilmActors
+WHERE MEMBER('Adventure', Categories) AND ALL(Salary(Actors) > 10000);
+`
+
+// Figure5View is the recursive BETTER_THAN view.
+const Figure5View = `
+CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS (
+  SELECT Refactor1, Refactor2
+  FROM DOMINATE
+  UNION
+  SELECT B1.Refactor1, B2.Refactor2
+  FROM BETTER_THAN B1, BETTER_THAN B2
+  WHERE B1.Refactor2 = B2.Refactor1 );
+`
+
+// Figure5Query asks who dominates Quinn.
+const Figure5Query = `
+SELECT Name(Refactor1)
+FROM BETTER_THAN
+WHERE Name(Refactor2) = 'Quinn';
+`

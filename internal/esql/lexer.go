@@ -1,0 +1,168 @@
+package esql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // ( ) , ; . :
+	tOp    // = <> < > <= >= + - * /
+)
+
+type token struct {
+	kind      tokKind
+	text      string
+	line, col int
+}
+
+func (t token) is(text string) bool {
+	return (t.kind == tIdent && strings.EqualFold(t.text, text)) ||
+		((t.kind == tPunct || t.kind == tOp) && t.text == text)
+}
+
+type lexer struct {
+	src       []rune
+	pos       int
+	line, col int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1, col: 1}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsSpace(r) {
+			l.advance()
+			continue
+		}
+		if r == '-' && l.peekAt(1) == '-' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				sb.WriteRune(c)
+				l.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tIdent, text: sb.String(), line: line, col: col}, nil
+
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsDigit(c) {
+				sb.WriteRune(c)
+				l.advance()
+				continue
+			}
+			if c == '.' && !seenDot && unicode.IsDigit(l.peekAt(1)) {
+				seenDot = true
+				sb.WriteRune(c)
+				l.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tNumber, text: sb.String(), line: line, col: col}, nil
+
+	case r == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("esql: %d:%d: unterminated string", line, col)
+			}
+			c := l.advance()
+			if c == '\'' {
+				if l.peek() == '\'' {
+					sb.WriteRune('\'')
+					l.advance()
+					continue
+				}
+				break
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tString, text: sb.String(), line: line, col: col}, nil
+	}
+	two := string(r) + string(l.peekAt(1))
+	switch two {
+	case "<>", "<=", ">=":
+		l.advance()
+		l.advance()
+		return token{kind: tOp, text: two, line: line, col: col}, nil
+	}
+	switch r {
+	case '(', ')', ',', ';', '.', ':':
+		l.advance()
+		return token{kind: tPunct, text: string(r), line: line, col: col}, nil
+	case '=', '<', '>', '+', '-', '*', '/':
+		l.advance()
+		return token{kind: tOp, text: string(r), line: line, col: col}, nil
+	}
+	return token{}, fmt.Errorf("esql: %d:%d: unexpected character %q", line, col, string(r))
+}

@@ -1,0 +1,313 @@
+package esql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lera/internal/value"
+)
+
+// Figure2DDL is the paper's Figure 2 schema in ESQL (hyphens in relation
+// names replaced by underscores; the FUNCTION declaration kept).
+
+func TestFigure2(t *testing.T) {
+	stmts, err := Parse(Figure2DDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 10 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+	cat := stmts[0].(*TypeDecl)
+	if cat.Kind != TypeEnum || len(cat.EnumVals) != 4 || cat.EnumVals[2] != "Science Fiction" {
+		t.Errorf("Category = %+v", cat)
+	}
+	point := stmts[1].(*TypeDecl)
+	if point.Kind != TypeTuple || point.Object || len(point.Fields) != 2 {
+		t.Errorf("Point = %+v", point)
+	}
+	person := stmts[2].(*TypeDecl)
+	if !person.Object || person.Fields[1].Type.CollKind != value.KSet {
+		t.Errorf("Person = %+v", person)
+	}
+	if person.Fields[2].Type.String() != "LIST OF Point" {
+		t.Errorf("Caricature type = %s", person.Fields[2].Type)
+	}
+	actor := stmts[3].(*TypeDecl)
+	if actor.Super != "Person" || !actor.Object || len(actor.Methods) != 1 || actor.Methods[0] != "IncreaseSalary" {
+		t.Errorf("Actor = %+v", actor)
+	}
+	text := stmts[4].(*TypeDecl)
+	if text.Kind != TypeColl || text.CollKind != value.KList || text.Elem.Name != "CHAR" {
+		t.Errorf("Text = %+v", text)
+	}
+	pairs := stmts[6].(*TypeDecl)
+	if pairs.CollKind != value.KList || pairs.Elem != nil && pairs.Elem.Name != "" && false {
+		t.Errorf("Pairs = %+v", pairs)
+	}
+	film := stmts[7].(*TableDecl)
+	if film.Name != "FILM" || len(film.Cols) != 3 || film.Cols[2].Type.Name != "SetCategory" {
+		t.Errorf("FILM = %+v", film)
+	}
+	dom := stmts[9].(*TableDecl)
+	if len(dom.Cols) != 4 {
+		t.Errorf("DOMINATE = %+v", dom)
+	}
+}
+
+// Figure3Query is the paper's Figure 3 example query.
+
+func TestFigure3(t *testing.T) {
+	stmts, err := Parse(Figure3Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmts[0].(*Select)
+	if len(s.Proj) != 3 || len(s.From) != 2 {
+		t.Fatalf("select = %+v", s)
+	}
+	if app, ok := s.Proj[2].(*App); !ok || app.Fn != "Salary" {
+		t.Errorf("proj[2] = %#v", s.Proj[2])
+	}
+	// WHERE is a conjunction tree: AND(AND(=, =), MEMBER).
+	and, ok := s.Where.(*Bin)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where = %#v", s.Where)
+	}
+	member, ok := and.R.(*App)
+	if !ok || member.Fn != "MEMBER" {
+		t.Errorf("member = %#v", and.R)
+	}
+	inner := and.L.(*Bin)
+	eq := inner.L.(*Bin)
+	if eq.Op != "=" {
+		t.Errorf("eq = %#v", eq)
+	}
+	lref := eq.L.(*Ref)
+	if lref.Qualifier != "FILM" || lref.Name != "Numf" {
+		t.Errorf("lref = %#v", lref)
+	}
+}
+
+// Figure4DDL is the paper's Figure 4 nested view and query.
+
+func TestFigure4(t *testing.T) {
+	stmts, err := Parse(Figure4View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stmts[0].(*ViewDecl)
+	if v.Name != "FilmActors" || len(v.Cols) != 3 || v.Recursive() {
+		t.Errorf("view = %+v", v)
+	}
+	s := v.Selects[0]
+	if len(s.GroupBy) != 2 {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	if app, ok := s.Proj[2].(*App); !ok || app.Fn != "MakeSet" {
+		t.Errorf("MakeSet proj = %#v", s.Proj[2])
+	}
+	qs, err := Parse(Figure4Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0].(*Select)
+	and := q.Where.(*Bin)
+	quant, ok := and.R.(*Quant)
+	if !ok || !quant.All {
+		t.Fatalf("quant = %#v", and.R)
+	}
+	cmp := quant.Arg.(*Bin)
+	if cmp.Op != ">" {
+		t.Errorf("quant arg = %#v", quant.Arg)
+	}
+	if app, ok := cmp.L.(*App); !ok || app.Fn != "Salary" {
+		t.Errorf("salary app = %#v", cmp.L)
+	}
+}
+
+// Figure5View is the paper's recursive BETTER_THAN view and its query.
+
+func TestFigure5(t *testing.T) {
+	stmts, err := Parse(Figure5View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stmts[0].(*ViewDecl)
+	if !v.Recursive() {
+		t.Fatal("BETTER_THAN must be recursive")
+	}
+	if len(v.Selects) != 2 {
+		t.Fatalf("selects = %d", len(v.Selects))
+	}
+	rec := v.Selects[1]
+	if rec.From[0].Alias != "B1" || rec.From[1].Alias != "B2" {
+		t.Errorf("aliases = %+v", rec.From)
+	}
+	pr := rec.Proj[0].(*Ref)
+	if pr.Qualifier != "B1" || pr.Name != "Refactor1" {
+		t.Errorf("proj ref = %+v", pr)
+	}
+	if _, err := Parse(Figure5Query); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmts, err := Parse(`
+INSERT INTO FILM VALUES
+  (1, 'Lawrence of Arabia', SET('Adventure')),
+  (2, 'Casablanca', SET('Adventure', 'Comedy'));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmts[0].(*InsertStmt)
+	if ins.Table != "FILM" || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	cl, ok := ins.Rows[0][2].(*CollLit)
+	if !ok || cl.Kind != value.KSet || len(cl.Elems) != 1 {
+		t.Errorf("collection literal = %#v", ins.Rows[0][2])
+	}
+}
+
+func TestParseTupleLiteralAndArithmetic(t *testing.T) {
+	stmts, err := Parse(`INSERT INTO T VALUES (TUPLE(Pros: 2 + 3 * 4, Cons: -1), LIST());`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmts[0].(*InsertStmt)
+	tl := ins.Rows[0][0].(*TupleLit)
+	if len(tl.Names) != 2 || tl.Names[0] != "Pros" {
+		t.Fatalf("tuple lit = %+v", tl)
+	}
+	sum := tl.Elems[0].(*Bin)
+	if sum.Op != "+" {
+		t.Errorf("precedence: %#v", sum)
+	}
+	if prod, ok := sum.R.(*Bin); !ok || prod.Op != "*" {
+		t.Errorf("precedence: %#v", sum.R)
+	}
+	if lit, ok := tl.Elems[1].(*Lit); !ok || lit.Val.I != -1 {
+		t.Errorf("negative literal: %#v", tl.Elems[1])
+	}
+}
+
+func TestParseQueryHelper(t *testing.T) {
+	q, err := ParseQuery("SELECT Title FROM FILM WHERE Numf = 1")
+	if err != nil || len(q.Proj) != 1 {
+		t.Errorf("ParseQuery: %v %+v", err, q)
+	}
+	if _, err := ParseQuery("TABLE T (a : INT)"); err == nil {
+		t.Error("non-select must fail")
+	}
+	if _, err := ParseQuery("SELECT a FROM t; SELECT b FROM t"); err == nil {
+		t.Error("multiple statements must fail")
+	}
+}
+
+func TestParseNotAndQuantifiers(t *testing.T) {
+	q, err := ParseQuery("SELECT a FROM t WHERE NOT ISEMPTY(s) AND EXIST(x(s) = 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := q.Where.(*Bin)
+	if _, ok := and.L.(*Not); !ok {
+		t.Errorf("NOT: %#v", and.L)
+	}
+	qt, ok := and.R.(*Quant)
+	if !ok || qt.All {
+		t.Errorf("EXIST: %#v", and.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t GROUP BY",
+		"TABLE",
+		"TABLE t",
+		"TABLE t (a)",
+		"TABLE t (a :",
+		"TYPE",
+		"TYPE t",
+		"TYPE t ENUMERATION OF (1)",
+		"TYPE t SUBTYPE Person OBJECT TUPLE (a : INT)",
+		"CREATE t",
+		"CREATE VIEW v",
+		"CREATE VIEW v AS",
+		"INSERT t",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (1",
+		"SELECT a FROM t WHERE x = 'unterminated",
+		"SELECT a FROM t; garbage",
+		"SELECT ? FROM t",
+		"SELECT a FROM t WHERE (a = 1",
+		"TYPE T TUPLE (a : INT) FUNCTION",
+		"TYPE T TUPLE (a : INT) FUNCTION f (unbalanced",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndCaseInsensitivity(t *testing.T) {
+	stmts, err := Parse(`
+-- a comment
+select title from film where numf = 1; -- trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Errorf("stmts = %d", len(stmts))
+	}
+}
+
+func TestEscapedStringLiteral(t *testing.T) {
+	q, err := ParseQuery("SELECT a FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where.(*Bin)
+	if lit := cmp.R.(*Lit); lit.Val.S != "it's" {
+		t.Errorf("escaped = %q", lit.Val.S)
+	}
+}
+
+// Arbitrary input must produce an error or statements — never a panic.
+func TestParserRobustness(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "UNION", "TABLE", "TYPE",
+		"CREATE", "VIEW", "INSERT", "INTO", "VALUES", "AS", "OF", "TUPLE",
+		"SET", "LIST", "ENUMERATION", "SUBTYPE", "OBJECT", "FUNCTION",
+		"a", "T", "(", ")", ",", ";", ":", ".", "=", "<", "'s'", "1", "2.5",
+		"AND", "OR", "NOT", "ALL", "EXIST", "MEMBER", "-",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		n := r.Intn(24)
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			sb.WriteString(" ")
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", sb.String(), p)
+				}
+			}()
+			_, _ = Parse(sb.String())
+		}()
+	}
+}

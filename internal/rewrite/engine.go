@@ -1,0 +1,555 @@
+// Package rewrite implements the extensible rewrite engine of Section 4:
+// it applies term-rewriting rules to query terms under constraints, runs
+// rule methods (external functions), and drives the whole process with the
+// block/sequence meta-rules of Section 4.2, where every *condition check*
+// — not every successful application — decrements a block's budget.
+//
+// The engine is generic over the rule vocabulary: constraints, methods and
+// right-hand-side builtins are registered in an Externals table, which is
+// how the database implementor extends the optimizer without touching the
+// engine (the paper's central extensibility claim).
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lera/internal/catalog"
+	"lera/internal/lera"
+	"lera/internal/rules"
+	"lera/internal/term"
+)
+
+// Ctx is the evaluation context handed to constraints, methods and
+// builtins: "a rule has a context, which is the query and the database on
+// which it is applied" (Section 4.1).
+type Ctx struct {
+	Cat  *catalog.Catalog
+	Root *term.Term // the whole query term being rewritten
+	Site term.Path  // path of the subterm being matched
+	Bind *term.Bindings
+
+	engine *Engine
+}
+
+// Fresh returns a fresh relation name with the given prefix, unique within
+// the engine's lifetime (used by the Alexander transformation to name
+// magic relations).
+func (c *Ctx) Fresh(prefix string) string {
+	c.engine.fresh++
+	return fmt.Sprintf("%s_%d", strings.ToUpper(prefix), c.engine.fresh)
+}
+
+// EnvAtSite reconstructs the FIX/LET binder environment in scope at the
+// match site, so externals can run schema inference on subterms that
+// reference fixpoint-bound relation names.
+func (c *Ctx) EnvAtSite() lera.Env {
+	env := lera.Env{}
+	node := c.Root
+	for _, i := range c.Site {
+		switch {
+		case lera.IsOp(node, lera.OpFix) && i == 1:
+			name := strings.ToUpper(node.Args[0].Val.S)
+			if s, err := lera.Infer(node, c.Cat, env); err == nil {
+				env = cloneEnv(env)
+				env[name] = s
+			}
+		case lera.IsOp(node, lera.OpLet) && i == 2:
+			name := strings.ToUpper(node.Args[0].Val.S)
+			if s, err := lera.Infer(node.Args[1], c.Cat, env); err == nil {
+				env = cloneEnv(env)
+				env[name] = s
+			}
+		}
+		if node.Kind != term.Fun || i >= len(node.Args) {
+			break
+		}
+		node = node.Args[i]
+	}
+	return env
+}
+
+// InferAt runs schema inference on a subterm using the binder environment
+// at the match site.
+func (c *Ctx) InferAt(t *term.Term) (*lera.Schema, error) {
+	return lera.Infer(t, c.Cat, c.EnvAtSite())
+}
+
+// EnclosingRels returns the schemas of the relation list of the nearest
+// relational operator enclosing (or at) the match site, so that
+// type-sensitive constraints (ISA, ISOBJECT, REFER) can type ATTR
+// references. The environment of FIX/LET binders crossed on the way down
+// is respected.
+func (c *Ctx) EnclosingRels() ([]*lera.Schema, error) {
+	env := lera.Env{}
+	node := c.Root
+	var best *term.Term
+	record := func(n *term.Term) {
+		switch {
+		case lera.IsOp(n, lera.OpSearch), lera.IsOp(n, lera.OpFilter),
+			lera.IsOp(n, lera.OpJoin), lera.IsOp(n, lera.OpNest),
+			lera.IsOp(n, lera.OpUnnest):
+			best = n
+		}
+	}
+	record(node)
+	bestEnv := env
+	for _, i := range c.Site {
+		switch {
+		case lera.IsOp(node, lera.OpFix) && i == 1:
+			name := strings.ToUpper(node.Args[0].Val.S)
+			if s, err := lera.Infer(node, c.Cat, env); err == nil {
+				env = cloneEnv(env)
+				env[name] = s
+			}
+		case lera.IsOp(node, lera.OpLet) && i == 2:
+			name := strings.ToUpper(node.Args[0].Val.S)
+			if s, err := lera.Infer(node.Args[1], c.Cat, env); err == nil {
+				env = cloneEnv(env)
+				env[name] = s
+			}
+		}
+		if node.Kind != term.Fun || i >= len(node.Args) {
+			break
+		}
+		node = node.Args[i]
+		if n := node; n.Kind == term.Fun {
+			if lera.IsOp(n, lera.OpSearch) || lera.IsOp(n, lera.OpFilter) ||
+				lera.IsOp(n, lera.OpJoin) || lera.IsOp(n, lera.OpNest) ||
+				lera.IsOp(n, lera.OpUnnest) {
+				best = n
+				bestEnv = env
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("rewrite: no enclosing relational operator at %v", c.Site)
+	}
+	var relTerms []*term.Term
+	switch best.Functor {
+	case lera.OpSearch:
+		relTerms = best.Args[0].Args
+	case lera.OpJoin:
+		relTerms = []*term.Term{best.Args[0], best.Args[1]}
+	default: // FILTER, NEST, UNNEST
+		relTerms = []*term.Term{best.Args[0]}
+	}
+	out := make([]*lera.Schema, len(relTerms))
+	for i, r := range relTerms {
+		s, err := lera.Infer(r, c.Cat, bestEnv)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func cloneEnv(e lera.Env) lera.Env {
+	ne := lera.Env{}
+	for k, v := range e {
+		ne[k] = v
+	}
+	return ne
+}
+
+// ConstraintFn evaluates a rule constraint; args are instantiated under
+// the current bindings (sequence variables arrive as LIST terms).
+type ConstraintFn func(ctx *Ctx, args []*term.Term) (bool, error)
+
+// MethodFn runs a rule method. Args are instantiated except for output
+// variables, which arrive as unbound Vars the method binds through
+// ctx.Bind. Returning ok=false vetoes the rule application (the method
+// judged the transformation inapplicable); err reports a hard failure.
+type MethodFn func(ctx *Ctx, args []*term.Term) (ok bool, err error)
+
+// BuiltinFn evaluates a right-hand-side optimizer function (APPENDL,
+// ANDMERGE, SET-UNION, ...); args are fully instantiated.
+type BuiltinFn func(ctx *Ctx, args []*term.Term) (*term.Term, error)
+
+// Externals is the registry of constraint, method and builtin functions —
+// the "minimal set of basic functions ... built-in to increase the power
+// of the language" (Section 4.1) plus implementor extensions.
+type Externals struct {
+	constraints map[string]ConstraintFn
+	methods     map[string]MethodFn
+	builtins    map[string]BuiltinFn
+}
+
+// NewExternals returns a registry pre-populated with the generic built-ins
+// (ISA, EVALUATE, NOTMEMBER, comparison folding).
+func NewExternals() *Externals {
+	e := &Externals{
+		constraints: map[string]ConstraintFn{},
+		methods:     map[string]MethodFn{},
+		builtins:    map[string]BuiltinFn{},
+	}
+	registerGenericExternals(e)
+	return e
+}
+
+// RegisterConstraint installs a constraint function.
+func (e *Externals) RegisterConstraint(name string, fn ConstraintFn) {
+	e.constraints[strings.ToUpper(name)] = fn
+}
+
+// RegisterMethod installs a method.
+func (e *Externals) RegisterMethod(name string, fn MethodFn) {
+	e.methods[strings.ToUpper(name)] = fn
+}
+
+// RegisterBuiltin installs a right-hand-side builtin.
+func (e *Externals) RegisterBuiltin(name string, fn BuiltinFn) {
+	e.builtins[strings.ToUpper(name)] = fn
+}
+
+// HasConstraint, HasMethod and HasBuiltin report registration — used by
+// rule-base lint checks to catch typos in rule text.
+func (e *Externals) HasConstraint(name string) bool {
+	_, ok := e.constraints[strings.ToUpper(name)]
+	return ok
+}
+
+// HasMethod reports whether a method is registered.
+func (e *Externals) HasMethod(name string) bool {
+	_, ok := e.methods[strings.ToUpper(name)]
+	return ok
+}
+
+// HasBuiltin reports whether a right-hand-side builtin is registered.
+func (e *Externals) HasBuiltin(name string) bool {
+	_, ok := e.builtins[strings.ToUpper(name)]
+	return ok
+}
+
+// TraceEntry records one rule application for EXPLAIN output.
+type TraceEntry struct {
+	Block  string
+	Rule   string
+	Site   term.Path
+	Before string
+	After  string
+}
+
+// Stats aggregates engine work, the measurable currency of the paper's
+// §4.2/§7 budget discussion.
+type Stats struct {
+	ConditionChecks int // LHS matches on which constraints were evaluated
+	Applications    int // successful rewrites
+	Rounds          int // sequence iterations executed
+	BudgetExhausted bool
+}
+
+// Options configure a run.
+type Options struct {
+	// MaxChecks caps total condition checks across all blocks, guarding
+	// against non-terminating rule sets with infinite block limits
+	// (termination is undecidable, §4.2). 0 means the default.
+	MaxChecks int
+	// CollectTrace records a TraceEntry per application.
+	CollectTrace bool
+	// BlockLimitOverride, if non-nil, replaces every block's limit —
+	// the §7 dynamic-limit hook.
+	BlockLimitOverride func(block string, declared int) int
+}
+
+// DefaultMaxChecks bounds runaway rule systems.
+const DefaultMaxChecks = 1_000_000
+
+// Engine applies a rule set to query terms.
+type Engine struct {
+	RS    *rules.RuleSet
+	Ext   *Externals
+	Cat   *catalog.Catalog
+	Opts  Options
+	Trace []TraceEntry
+	fresh int
+}
+
+// New creates an engine.
+func New(rs *rules.RuleSet, ext *Externals, cat *catalog.Catalog, opts Options) *Engine {
+	if opts.MaxChecks <= 0 {
+		opts.MaxChecks = DefaultMaxChecks
+	}
+	return &Engine{RS: rs, Ext: ext, Cat: cat, Opts: opts}
+}
+
+// Run rewrites q under the rule set's sequence meta-rule. If no sequence
+// is declared, all blocks run once in declaration order; if no blocks are
+// declared, all rules form one implicit saturating block.
+func (e *Engine) Run(q *term.Term) (*term.Term, *Stats, error) {
+	st := &Stats{}
+	seq := e.RS.Sequence
+	if seq == nil {
+		blocks := e.RS.BlockOrder
+		if len(blocks) == 0 {
+			all := &rules.Block{Name: "(all)", Rules: e.RS.RuleOrder, Limit: rules.Infinite}
+			return e.runWithSeq(q, []*rules.Block{all}, 1, st)
+		}
+		bs := make([]*rules.Block, len(blocks))
+		for i, n := range blocks {
+			bs[i] = e.RS.Blocks[n]
+		}
+		return e.runWithSeq(q, bs, 1, st)
+	}
+	bs := make([]*rules.Block, len(seq.Blocks))
+	for i, n := range seq.Blocks {
+		bs[i] = e.RS.Blocks[n]
+	}
+	limit := seq.Limit
+	if limit == rules.Infinite {
+		limit = math.MaxInt32
+	}
+	return e.runWithSeq(q, bs, limit, st)
+}
+
+// RunBlock applies a single named block to q (used by tests and the §7
+// per-phase experiments).
+func (e *Engine) RunBlock(q *term.Term, blockName string) (*term.Term, *Stats, error) {
+	b, ok := e.RS.Blocks[blockName]
+	if !ok {
+		return nil, nil, fmt.Errorf("rewrite: unknown block %q", blockName)
+	}
+	st := &Stats{}
+	out, err := e.runBlock(q, b, st)
+	return out, st, err
+}
+
+func (e *Engine) runWithSeq(q *term.Term, blocks []*rules.Block, rounds int, st *Stats) (*term.Term, *Stats, error) {
+	for r := 0; r < rounds; r++ {
+		st.Rounds++
+		before := q
+		for _, b := range blocks {
+			var err error
+			q, err = e.runBlock(q, b, st)
+			if err != nil {
+				return nil, st, err
+			}
+		}
+		if term.Equal(before, q) {
+			break // fixpoint of the whole sequence
+		}
+	}
+	return q, st, nil
+}
+
+func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, error) {
+	budget := b.Limit
+	if e.Opts.BlockLimitOverride != nil {
+		budget = e.Opts.BlockLimitOverride(b.Name, budget)
+	}
+	if budget == rules.Infinite {
+		budget = math.MaxInt
+	}
+	for budget > 0 {
+		applied := false
+		for _, rn := range b.Rules {
+			rule := e.RS.Rules[rn]
+			nq, ok, err := e.applyOnce(q, rule, b.Name, &budget, st)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				q = nq
+				applied = true
+				break // restart from the first rule of the block
+			}
+			if budget <= 0 {
+				break
+			}
+		}
+		if !applied {
+			break
+		}
+	}
+	if budget <= 0 {
+		st.BudgetExhausted = true
+	}
+	return q, nil
+}
+
+// applyOnce tries to apply rule at the topmost-leftmost applicable site.
+func (e *Engine) applyOnce(q *term.Term, rule *rules.Rule, blockName string, budget *int, st *Stats) (*term.Term, bool, error) {
+	var result *term.Term
+	var applyErr error
+	found := false
+
+	term.Walk(q, func(sub *term.Term, path term.Path) bool {
+		if sub.Kind != term.Fun || *budget <= 0 {
+			return *budget > 0
+		}
+		b := term.NewBindings()
+		ctx := &Ctx{Cat: e.Cat, Root: q, Site: path.Clone(), Bind: b, engine: e}
+		matched := term.Match(rule.LHS, sub, b, func() bool {
+			// One condition check: the LHS matched and the constraints
+			// are evaluated (§4.2 budget semantics).
+			*budget--
+			st.ConditionChecks++
+			if st.ConditionChecks > e.Opts.MaxChecks {
+				applyErr = fmt.Errorf("rewrite: rule system exceeded %d condition checks (non-terminating rule set?)", e.Opts.MaxChecks)
+				return true // stop the search; error reported below
+			}
+			ok, err := e.checkConstraints(ctx, rule)
+			if err != nil {
+				applyErr = fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
+				return true
+			}
+			if !ok {
+				return false
+			}
+			if *budget < 0 {
+				return false
+			}
+			return true
+		})
+		if applyErr != nil {
+			return false
+		}
+		if !matched {
+			return *budget > 0
+		}
+		// Run methods; a method may veto.
+		for _, m := range rule.Methods {
+			ok, err := e.runMethod(ctx, m)
+			if err != nil {
+				applyErr = fmt.Errorf("rewrite: rule %s, method %s: %w", rule.Name, m.Functor, err)
+				return false
+			}
+			if !ok {
+				return true // veto: keep walking for another site
+			}
+		}
+		rhs, err := e.instantiate(ctx, rule.RHS)
+		if err != nil {
+			applyErr = fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
+			return false
+		}
+		if term.Equal(rhs, sub) {
+			// No-change application: treat as inapplicable here (keeps
+			// idempotent semantic rules from looping).
+			return true
+		}
+		result = term.ReplaceAt(q, path, rhs)
+		found = true
+		st.Applications++
+		if e.Opts.CollectTrace {
+			e.Trace = append(e.Trace, TraceEntry{
+				Block: blockName, Rule: rule.Name, Site: path.Clone(),
+				Before: sub.String(), After: rhs.String(),
+			})
+		}
+		return false // stop the walk
+	})
+	if applyErr != nil {
+		return nil, false, applyErr
+	}
+	return result, found, nil
+}
+
+func (e *Engine) checkConstraints(ctx *Ctx, rule *rules.Rule) (bool, error) {
+	for _, c := range rule.Constraints {
+		ok, err := e.evalConstraint(ctx, c)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (e *Engine) runMethod(ctx *Ctx, call *term.Term) (bool, error) {
+	if call.Kind != term.Fun {
+		return false, fmt.Errorf("method %s is not a call", call)
+	}
+	fn, ok := e.Ext.methods[strings.ToUpper(call.Functor)]
+	if !ok {
+		return false, fmt.Errorf("unknown method %q", call.Functor)
+	}
+	args := make([]*term.Term, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = e.instArg(ctx, a)
+	}
+	return fn(ctx, args)
+}
+
+// instArg instantiates a constraint/method argument: bound variables are
+// replaced, bound sequence variables become LIST terms, unbound variables
+// are passed through (method outputs), and compound terms are instantiated
+// recursively.
+func (e *Engine) instArg(ctx *Ctx, a *term.Term) *term.Term {
+	switch a.Kind {
+	case term.Const:
+		return a
+	case term.Var:
+		if t, ok := ctx.Bind.Var(a.Name); ok {
+			return t
+		}
+		return a
+	case term.SeqVar:
+		if seq, ok := ctx.Bind.Seq(a.Name); ok {
+			return term.List(seq...)
+		}
+		return a
+	case term.Fun:
+		args := make([]*term.Term, 0, len(a.Args))
+		for _, sub := range a.Args {
+			if sub.Kind == term.SeqVar {
+				if seq, ok := ctx.Bind.Seq(sub.Name); ok {
+					// Splice into constructors (SET(x*, ...) keeps
+					// constructor semantics); elsewhere a collection
+					// variable denotes the collection itself, so wrap
+					// it (MEMBER(y, x*) sees one LIST argument).
+					if term.IsConstructor(a.Functor) {
+						args = append(args, seq...)
+					} else {
+						args = append(args, term.List(seq...))
+					}
+					continue
+				}
+			}
+			args = append(args, e.instArg(ctx, sub))
+		}
+		functor := a.Functor
+		if a.VarHead {
+			if f, ok := ctx.Bind.Fun(a.Functor); ok {
+				nt := term.F(f, args...)
+				return nt
+			}
+			nt := &term.Term{Kind: term.Fun, Functor: a.Functor, Args: args, VarHead: true}
+			return nt
+		}
+		return term.F(functor, args...)
+	}
+	return a
+}
+
+// instantiate builds the rule's right-hand side: apply bindings, then
+// evaluate registered builtins bottom-up.
+func (e *Engine) instantiate(ctx *Ctx, rhs *term.Term) (*term.Term, error) {
+	applied, err := ctx.Bind.Apply(rhs)
+	if err != nil {
+		return nil, err
+	}
+	var evalErr error
+	out := term.Rewrite(applied, func(s *term.Term) *term.Term {
+		if evalErr != nil || s.Kind != term.Fun {
+			return s
+		}
+		if fn, ok := e.Ext.builtins[strings.ToUpper(s.Functor)]; ok {
+			r, err := fn(ctx, s.Args)
+			if err != nil {
+				evalErr = err
+				return s
+			}
+			return r
+		}
+		return s
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}

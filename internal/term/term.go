@@ -1,0 +1,424 @@
+// Package term implements the term language underlying the paper's rule
+// formalism (Section 4.1): functional expressions over constants,
+// variables, collection variables (written x* in the paper) and function
+// variables (F, G, ... in Figure 6), together with substitution and a
+// backtracking matcher.
+//
+// LERA expressions, qualifications and projections are all terms — the
+// uniform representation that lets a single rule language drive every kind
+// of query rewriting. SET and BAG constructor arguments are kept in
+// canonical sorted order (sets deduplicated), which gives commutative
+// matching a normal form and makes AND-over-a-set qualifications
+// automatically idempotent.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lera/internal/value"
+)
+
+// Kind discriminates term structure.
+type Kind int
+
+// Term kinds.
+const (
+	// Const is a constant embedding a runtime value.
+	Const Kind = iota
+	// Var is an ordinary variable, matching exactly one term.
+	Var
+	// SeqVar is a collection variable (x* in the paper), matching a
+	// sequence of zero or more argument terms.
+	SeqVar
+	// Fun is a function application, including the collection
+	// constructors SET, BAG, LIST, ARRAY, TUPLE.
+	Fun
+)
+
+// Reserved constructor functors. COLLECTION is pattern-only: it matches
+// any of the four concrete constructors (Figure 6's <collection>).
+const (
+	FSet        = "SET"
+	FBag        = "BAG"
+	FList       = "LIST"
+	FArray      = "ARRAY"
+	FTuple      = "TUPLE"
+	FCollection = "COLLECTION"
+)
+
+// Term is an immutable term. Do not mutate a Term after construction;
+// sharing subterms is encouraged and relied upon.
+type Term struct {
+	Kind    Kind
+	Functor string  // Fun: function symbol, upper-cased
+	Args    []*Term // Fun: arguments
+	// VarHead marks a Fun whose head is a function variable (Figure 6's
+	// F, G, H...): Functor is then the variable's name and matches any
+	// function symbol.
+	VarHead bool
+	Val     value.Value // Const
+	Name    string      // Var, SeqVar
+}
+
+// C constructs a constant term.
+func C(v value.Value) *Term { return &Term{Kind: Const, Val: v} }
+
+// Str, Num, Flt, and TrueT/FalseT are constant shorthands.
+func Str(s string) *Term  { return C(value.String(s)) }
+func Num(i int64) *Term   { return C(value.Int(i)) }
+func Flt(f float64) *Term { return C(value.Real(f)) }
+func BoolT(b bool) *Term  { return C(value.Bool(b)) }
+func TrueT() *Term        { return BoolT(true) }
+func FalseT() *Term       { return BoolT(false) }
+
+// V constructs a variable.
+func V(name string) *Term { return &Term{Kind: Var, Name: name} }
+
+// SV constructs a collection (sequence) variable; the name excludes the
+// trailing '*'.
+func SV(name string) *Term { return &Term{Kind: SeqVar, Name: name} }
+
+// F constructs a function application. SET and BAG arguments are put in
+// canonical order (SET deduplicated).
+func F(functor string, args ...*Term) *Term {
+	f := strings.ToUpper(functor)
+	t := &Term{Kind: Fun, Functor: f, Args: args}
+	if f == FSet || f == FBag {
+		t.Args = canonicalize(args, f == FSet)
+	}
+	return t
+}
+
+// FV constructs an application whose head is a function variable.
+func FV(name string, args ...*Term) *Term {
+	return &Term{Kind: Fun, Functor: name, Args: args, VarHead: true}
+}
+
+// Set, Bag, List, Array, TupleT are constructor shorthands.
+func Set(args ...*Term) *Term    { return F(FSet, args...) }
+func Bag(args ...*Term) *Term    { return F(FBag, args...) }
+func List(args ...*Term) *Term   { return F(FList, args...) }
+func Array(args ...*Term) *Term  { return F(FArray, args...) }
+func TupleT(args ...*Term) *Term { return F(FTuple, args...) }
+
+func canonicalize(args []*Term, dedupe bool) []*Term {
+	// Sequence variables float to the end, preserving their relative
+	// order, so that patterns like SET(x*, G(y)) keep the fixed element
+	// visible; concrete elements sort canonically.
+	var fixed, seqs []*Term
+	for _, a := range args {
+		if a.Kind == SeqVar {
+			seqs = append(seqs, a)
+		} else {
+			fixed = append(fixed, a)
+		}
+	}
+	sort.SliceStable(fixed, func(i, j int) bool { return Compare(fixed[i], fixed[j]) < 0 })
+	if dedupe {
+		out := fixed[:0]
+		for i, a := range fixed {
+			if i == 0 || Compare(fixed[i-1], a) != 0 {
+				out = append(out, a)
+			}
+		}
+		fixed = out
+	}
+	return append(fixed, seqs...)
+}
+
+// IsConstructor reports whether the functor is one of the collection or
+// tuple constructors.
+func IsConstructor(functor string) bool {
+	switch functor {
+	case FSet, FBag, FList, FArray, FTuple, FCollection:
+		return true
+	}
+	return false
+}
+
+// IsComm reports whether a constructor's arguments match commutatively.
+func IsComm(functor string) bool { return functor == FSet || functor == FBag }
+
+// Compare imposes a deterministic total order on terms: by kind, then by
+// name/functor, arity, arguments and constant value.
+func Compare(a, b *Term) int {
+	if a == b {
+		return 0
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case Const:
+		return value.Compare(a.Val, b.Val)
+	case Var, SeqVar:
+		return strings.Compare(a.Name, b.Name)
+	case Fun:
+		if a.VarHead != b.VarHead {
+			if !a.VarHead {
+				return -1
+			}
+			return 1
+		}
+		if c := strings.Compare(a.Functor, b.Functor); c != 0 {
+			return c
+		}
+		if len(a.Args) != len(b.Args) {
+			if len(a.Args) < len(b.Args) {
+				return -1
+			}
+			return 1
+		}
+		for i := range a.Args {
+			if c := Compare(a.Args[i], b.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports structural equality.
+func Equal(a, b *Term) bool { return Compare(a, b) == 0 }
+
+// IsGround reports whether t contains no variables of any kind.
+func (t *Term) IsGround() bool {
+	switch t.Kind {
+	case Var, SeqVar:
+		return false
+	case Fun:
+		if t.VarHead {
+			return false
+		}
+		for _, a := range t.Args {
+			if !a.IsGround() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Vars appends the names of all ordinary, sequence and function variables
+// in t to the three sets.
+func (t *Term) Vars(vars, seqs, funs map[string]bool) {
+	switch t.Kind {
+	case Var:
+		vars[t.Name] = true
+	case SeqVar:
+		seqs[t.Name] = true
+	case Fun:
+		if t.VarHead {
+			funs[t.Functor] = true
+		}
+		for _, a := range t.Args {
+			a.Vars(vars, seqs, funs)
+		}
+	}
+}
+
+// Size returns the number of nodes in t — the paper's "number of terms in
+// a query", used to classify rules as increasing or decreasing (§4.2).
+func (t *Term) Size() int {
+	n := 1
+	if t.Kind == Fun {
+		for _, a := range t.Args {
+			n += a.Size()
+		}
+	}
+	return n
+}
+
+// String renders the term: constants in ESQL literal syntax, variables as
+// their name, collection variables with a trailing '*', applications as
+// FUNCTOR(arg, ...).
+func (t *Term) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Const:
+		return t.Val.String()
+	case Var:
+		return t.Name
+	case SeqVar:
+		return t.Name + "*"
+	case Fun:
+		if len(t.Args) == 0 && IsConstructor(t.Functor) {
+			return t.Functor + "()"
+		}
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = a.String()
+		}
+		return t.Functor + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// --- substitution & bindings ---
+
+// Bindings maps variables to terms, collection variables to term
+// sequences, and function variables to function symbols. A single Bindings
+// is threaded through a backtracking match; Snapshot/Restore implement the
+// undo trail.
+type Bindings struct {
+	vars map[string]*Term
+	seqs map[string][]*Term
+	funs map[string]string
+	// trail records bound names for backtracking.
+	trail []trailEntry
+}
+
+type trailEntry struct {
+	kind Kind // Var, SeqVar or Fun (function variable)
+	name string
+}
+
+// NewBindings returns an empty binding set.
+func NewBindings() *Bindings {
+	return &Bindings{vars: map[string]*Term{}, seqs: map[string][]*Term{}, funs: map[string]string{}}
+}
+
+// Var returns the binding of an ordinary variable.
+func (b *Bindings) Var(name string) (*Term, bool) { t, ok := b.vars[name]; return t, ok }
+
+// Seq returns the binding of a collection variable.
+func (b *Bindings) Seq(name string) ([]*Term, bool) { s, ok := b.seqs[name]; return s, ok }
+
+// Fun returns the binding of a function variable.
+func (b *Bindings) Fun(name string) (string, bool) { f, ok := b.funs[name]; return f, ok }
+
+// BindVar binds an ordinary variable (recording it on the trail).
+func (b *Bindings) BindVar(name string, t *Term) {
+	b.vars[name] = t
+	b.trail = append(b.trail, trailEntry{Var, name})
+}
+
+// BindSeq binds a collection variable.
+func (b *Bindings) BindSeq(name string, ts []*Term) {
+	b.seqs[name] = ts
+	b.trail = append(b.trail, trailEntry{SeqVar, name})
+}
+
+// BindFun binds a function variable to a symbol.
+func (b *Bindings) BindFun(name, functor string) {
+	b.funs[name] = functor
+	b.trail = append(b.trail, trailEntry{Fun, name})
+}
+
+// Mark returns the current trail position for later Restore.
+func (b *Bindings) Mark() int { return len(b.trail) }
+
+// Restore undoes all bindings made after the given mark.
+func (b *Bindings) Restore(mark int) {
+	for i := len(b.trail) - 1; i >= mark; i-- {
+		e := b.trail[i]
+		switch e.kind {
+		case Var:
+			delete(b.vars, e.name)
+		case SeqVar:
+			delete(b.seqs, e.name)
+		case Fun:
+			delete(b.funs, e.name)
+		}
+	}
+	b.trail = b.trail[:mark]
+}
+
+// Clone deep-copies the binding maps (the trail is not copied).
+func (b *Bindings) Clone() *Bindings {
+	nb := NewBindings()
+	for k, v := range b.vars {
+		nb.vars[k] = v
+	}
+	for k, v := range b.seqs {
+		nb.seqs[k] = append([]*Term(nil), v...)
+	}
+	for k, v := range b.funs {
+		nb.funs[k] = v
+	}
+	return nb
+}
+
+// String renders the bindings deterministically, for traces and tests.
+func (b *Bindings) String() string {
+	var parts []string
+	for k, v := range b.vars {
+		parts = append(parts, k+"="+v.String())
+	}
+	for k, v := range b.seqs {
+		ss := make([]string, len(v))
+		for i, t := range v {
+			ss[i] = t.String()
+		}
+		parts = append(parts, k+"*=["+strings.Join(ss, ", ")+"]")
+	}
+	for k, v := range b.funs {
+		parts = append(parts, k+"()="+v)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Apply instantiates a term under the bindings: variables are replaced by
+// their bindings, collection variables are spliced into argument lists,
+// function-variable heads are replaced by their bound symbol. Unbound
+// variables are an error — rules must bind every right-hand-side variable
+// either by matching or by a method call (Section 4.1).
+func (b *Bindings) Apply(t *Term) (*Term, error) {
+	switch t.Kind {
+	case Const:
+		return t, nil
+	case Var:
+		if v, ok := b.vars[t.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("term: unbound variable %s", t.Name)
+	case SeqVar:
+		return nil, fmt.Errorf("term: collection variable %s* used outside an argument list", t.Name)
+	case Fun:
+		functor := t.Functor
+		if t.VarHead {
+			f, ok := b.funs[t.Functor]
+			if !ok {
+				return nil, fmt.Errorf("term: unbound function variable %s", t.Functor)
+			}
+			functor = f
+		}
+		args := make([]*Term, 0, len(t.Args))
+		for _, a := range t.Args {
+			if a.Kind == SeqVar {
+				seq, ok := b.seqs[a.Name]
+				if !ok {
+					return nil, fmt.Errorf("term: unbound collection variable %s*", a.Name)
+				}
+				args = append(args, seq...)
+				continue
+			}
+			na, err := b.Apply(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, na)
+		}
+		return F(functor, args...), nil
+	}
+	return nil, fmt.Errorf("term: cannot apply bindings to kind %d", t.Kind)
+}
+
+// MustApply is Apply for tests and internal call sites that guarantee all
+// variables are bound.
+func (b *Bindings) MustApply(t *Term) *Term {
+	r, err := b.Apply(t)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

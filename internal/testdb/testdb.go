@@ -1,0 +1,160 @@
+// Package testdb builds the paper's Figure 2 example database — the FILM /
+// APPEARS_IN / DOMINATE schema with its Category, Point, Person, Actor,
+// SetCategory and Pairs types — and a small concrete instance featuring
+// the actors of the paper's queries (Quinn among them). It is shared by
+// tests, examples and the benchmark harness.
+package testdb
+
+import (
+	"fmt"
+
+	"lera/internal/catalog"
+	"lera/internal/types"
+	"lera/internal/value"
+)
+
+// Actor names of the sample instance. Quinn is the constant of the
+// paper's Figure 3 and Figure 5 queries.
+var ActorNames = []string{"Quinn", "Brando", "Bogart", "Hepburn", "Gabin", "Signoret"}
+
+// Catalog builds the Figure 2 schema.
+func Catalog() (*catalog.Catalog, error) {
+	c := catalog.New()
+	r := c.Types
+
+	if _, err := r.DeclareEnum("Category", []string{"Comedy", "Adventure", "Science Fiction", "Western"}); err != nil {
+		return nil, err
+	}
+	if _, err := r.DeclareTuple("Point", []types.Field{{Name: "ABS", Type: r.Real}, {Name: "ORD", Type: r.Real}}, false, nil); err != nil {
+		return nil, err
+	}
+	person, err := r.DeclareTuple("Person", []types.Field{
+		{Name: "Name", Type: r.Char},
+		{Name: "Firstname", Type: r.Collection(value.KSet, r.Char)},
+		{Name: "Caricature", Type: r.Collection(value.KList, r.MustLookup("Point"))},
+	}, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	actor, err := r.DeclareTuple("Actor", []types.Field{{Name: "Salary", Type: r.Numeric}}, true, person)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.DeclareCollection("SetCategory", value.KSet, r.MustLookup("Category")); err != nil {
+		return nil, err
+	}
+	pair := &types.Type{Name: "_pair", Kind: types.Tuple, Fields: []types.Field{
+		{Name: "Pros", Type: r.Int}, {Name: "Cons", Type: r.Int},
+	}}
+	if _, err := r.DeclareCollection("Pairs", value.KList, pair); err != nil {
+		return nil, err
+	}
+	text := r.Char // TYPE Text LIST OF CHAR; we model text as a string
+
+	if _, err := c.DeclareRelation("FILM", []catalog.Column{
+		{Name: "Numf", Type: r.Numeric},
+		{Name: "Title", Type: text},
+		{Name: "Categories", Type: r.MustLookup("SetCategory")},
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := c.DeclareRelation("APPEARS_IN", []catalog.Column{
+		{Name: "Numf", Type: r.Numeric},
+		{Name: "Refactor", Type: actor},
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := c.DeclareRelation("DOMINATE", []catalog.Column{
+		{Name: "Numf", Type: r.Numeric},
+		{Name: "Refactor1", Type: actor},
+		{Name: "Refactor2", Type: actor},
+		{Name: "Score", Type: r.MustLookup("Pairs")},
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Instance is a concrete database instance: rows per relation plus the
+// object store mapping OIDs to object values.
+type Instance struct {
+	Rows    map[string][][]value.Value
+	Objects map[int64]value.Value
+}
+
+// Data builds the sample instance:
+//
+//   - 6 Actor objects (OIDs 1..6) with salaries 8000..18000;
+//   - 4 films spanning the enumeration's categories;
+//   - APPEARS_IN linking actors to films (film 1 'Lawrence of Arabia'
+//     has the high earners, for the Figure 4 ALL query);
+//   - DOMINATE containing the tennis results chain
+//     Brando > Bogart > Quinn and Gabin > Quinn, so that the Figure 5
+//     query "who dominates Quinn" must traverse the recursive view.
+func Data() (*Instance, error) {
+	inst := &Instance{Rows: map[string][][]value.Value{}, Objects: map[int64]value.Value{}}
+
+	salaries := []int64{12000, 18000, 15000, 11000, 9000, 8000}
+	for i, name := range ActorNames {
+		oid := int64(i + 1)
+		inst.Objects[oid] = value.NewTuple(
+			[]string{"Name", "Firstname", "Caricature", "Salary"},
+			[]value.Value{
+				value.String(name),
+				value.NewSet(value.String(name[:1])),
+				value.NewList(value.NewTuple([]string{"ABS", "ORD"}, []value.Value{value.Real(float64(i)), value.Real(1)})),
+				value.Int(salaries[i]),
+			})
+	}
+	oid := func(name string) value.Value {
+		for i, n := range ActorNames {
+			if n == name {
+				return value.OID(int64(i + 1))
+			}
+		}
+		panic(fmt.Sprintf("testdb: unknown actor %q", name))
+	}
+
+	cats := func(names ...string) value.Value {
+		var vs []value.Value
+		for _, n := range names {
+			vs = append(vs, value.String(n))
+		}
+		return value.NewSet(vs...)
+	}
+	inst.Rows["FILM"] = [][]value.Value{
+		{value.Int(1), value.String("Lawrence of Arabia"), cats("Adventure")},
+		{value.Int(2), value.String("Casablanca"), cats("Adventure", "Comedy")},
+		{value.Int(3), value.String("High Noon"), cats("Western")},
+		{value.Int(4), value.String("Metropolis"), cats("Science Fiction")},
+	}
+	appears := [][2]any{
+		{1, "Quinn"}, {1, "Brando"}, {1, "Bogart"},
+		{2, "Bogart"}, {2, "Hepburn"},
+		{3, "Gabin"}, {3, "Quinn"},
+		{4, "Signoret"},
+	}
+	for _, a := range appears {
+		inst.Rows["APPEARS_IN"] = append(inst.Rows["APPEARS_IN"],
+			[]value.Value{value.Int(int64(a[0].(int))), oid(a[1].(string))})
+	}
+	score := value.NewList(value.NewTuple([]string{"Pros", "Cons"}, []value.Value{value.Int(6), value.Int(3)}))
+	dominate := [][3]any{
+		{1, "Brando", "Bogart"},
+		{1, "Bogart", "Quinn"},
+		{3, "Gabin", "Quinn"},
+		{2, "Hepburn", "Bogart"},
+		{4, "Signoret", "Gabin"},
+	}
+	for _, d := range dominate {
+		inst.Rows["DOMINATE"] = append(inst.Rows["DOMINATE"],
+			[]value.Value{value.Int(int64(d[0].(int))), oid(d[1].(string)), oid(d[2].(string)), score})
+	}
+	return inst, nil
+}
+
+// DominatorsOfQuinn lists the actors that transitively dominate Quinn in
+// the sample instance — the oracle for the Figure 5 query.
+func DominatorsOfQuinn() []string {
+	return []string{"Bogart", "Brando", "Gabin", "Hepburn", "Signoret"}
+}

@@ -1,0 +1,545 @@
+// Package value implements the runtime value system of the ESQL/LERA
+// reproduction: scalar values, tuples, the generic collection ADTs of the
+// paper's Figure 1 (set, bag, list, array) and object identifiers.
+//
+// Values are immutable by convention: every operation returns a new Value.
+// Sets and bags are kept in a canonical sorted order so that structural
+// equality, set semantics and deterministic printing all fall out of a
+// single total order (Compare).
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the runtime representation of a Value.
+type Kind int
+
+// The value kinds. KNull is the zero Kind so that the zero Value is NULL.
+const (
+	KNull Kind = iota
+	KBool
+	KInt
+	KReal
+	KString
+	KTuple
+	KSet
+	KBag
+	KList
+	KArray
+	KOID
+)
+
+// String returns the kind name as used in error messages and the printer.
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KBool:
+		return "bool"
+	case KInt:
+		return "int"
+	case KReal:
+		return "real"
+	case KString:
+		return "string"
+	case KTuple:
+		return "tuple"
+	case KSet:
+		return "set"
+	case KBag:
+		return "bag"
+	case KList:
+		return "list"
+	case KArray:
+		return "array"
+	case KOID:
+		return "oid"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsCollection reports whether the kind is one of the generic collection
+// ADTs of the paper's Figure 1.
+func (k Kind) IsCollection() bool {
+	return k == KSet || k == KBag || k == KList || k == KArray
+}
+
+// Value is a runtime ESQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+
+	B bool
+	I int64
+	F float64
+	S string
+
+	// Elems holds collection elements (sorted and deduplicated for sets,
+	// sorted for bags, in order for lists/arrays) and tuple field values.
+	Elems []Value
+	// Names holds tuple field names, parallel to Elems. Nil for
+	// non-tuples.
+	Names []string
+
+	// OID is the object identifier for KOID values.
+	OID int64
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Bool constructs a boolean value.
+func Bool(b bool) Value { return Value{K: KBool, B: b} }
+
+// Int constructs an integer value.
+func Int(i int64) Value { return Value{K: KInt, I: i} }
+
+// Real constructs a real (float) value.
+func Real(f float64) Value { return Value{K: KReal, F: f} }
+
+// String constructs a string value.
+func String(s string) Value { return Value{K: KString, S: s} }
+
+// OID constructs an object identifier value.
+func OID(id int64) Value { return Value{K: KOID, OID: id} }
+
+// True and False are the boolean constants.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// NewTuple constructs a tuple value with the given field names and values.
+// The two slices must have equal length.
+func NewTuple(names []string, vals []Value) Value {
+	if len(names) != len(vals) {
+		panic(fmt.Sprintf("value: tuple arity mismatch: %d names, %d values", len(names), len(vals)))
+	}
+	return Value{K: KTuple, Names: append([]string(nil), names...), Elems: append([]Value(nil), vals...)}
+}
+
+// NewSet constructs a set, deduplicating and sorting the elements into
+// canonical order.
+func NewSet(elems ...Value) Value {
+	es := append([]Value(nil), elems...)
+	sort.Slice(es, func(i, j int) bool { return Compare(es[i], es[j]) < 0 })
+	out := es[:0]
+	for i, e := range es {
+		if i == 0 || Compare(es[i-1], e) != 0 {
+			out = append(out, e)
+		}
+	}
+	return Value{K: KSet, Elems: out}
+}
+
+// NewBag constructs a bag; duplicates are kept but elements are sorted so
+// equal bags compare equal structurally.
+func NewBag(elems ...Value) Value {
+	es := append([]Value(nil), elems...)
+	sort.Slice(es, func(i, j int) bool { return Compare(es[i], es[j]) < 0 })
+	return Value{K: KBag, Elems: es}
+}
+
+// NewList constructs a list preserving element order.
+func NewList(elems ...Value) Value {
+	return Value{K: KList, Elems: append([]Value(nil), elems...)}
+}
+
+// NewArray constructs an array preserving element order.
+func NewArray(elems ...Value) Value {
+	return Value{K: KArray, Elems: append([]Value(nil), elems...)}
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KNull }
+
+// IsTrue reports whether v is the boolean true.
+func (v Value) IsTrue() bool { return v.K == KBool && v.B }
+
+// Field returns the named tuple field and whether it exists.
+func (v Value) Field(name string) (Value, bool) {
+	if v.K != KTuple {
+		return Null, false
+	}
+	for i, n := range v.Names {
+		if strings.EqualFold(n, name) {
+			return v.Elems[i], true
+		}
+	}
+	return Null, false
+}
+
+// Len returns the number of elements of a collection or fields of a tuple.
+func (v Value) Len() int { return len(v.Elems) }
+
+// AsFloat converts numeric values to float64; ok is false otherwise.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.K {
+	case KInt:
+		return float64(v.I), true
+	case KReal:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Compare imposes a total order on all values. Values of different kinds
+// order by kind, except that ints and reals compare numerically. Within a
+// kind: booleans order false < true, strings lexicographically, tuples and
+// collections lexicographically element-wise then by length.
+func Compare(a, b Value) int {
+	// Numeric cross-kind comparison.
+	if af, aok := a.AsFloat(); aok {
+		if bf, bok := b.AsFloat(); bok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			// Equal numerically: int and real of equal magnitude are
+			// considered equal (5 = 5.0), matching SQL semantics.
+			return 0
+		}
+	}
+	if a.K != b.K {
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case KNull:
+		return 0
+	case KBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		}
+		return 1
+	case KString:
+		return strings.Compare(a.S, b.S)
+	case KOID:
+		switch {
+		case a.OID < b.OID:
+			return -1
+		case a.OID > b.OID:
+			return 1
+		}
+		return 0
+	case KTuple, KSet, KBag, KList, KArray:
+		n := len(a.Elems)
+		if len(b.Elems) < n {
+			n = len(b.Elems)
+		}
+		for i := 0; i < n; i++ {
+			if c := Compare(a.Elems[i], b.Elems[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(a.Elems) < len(b.Elems):
+			return -1
+		case len(a.Elems) > len(b.Elems):
+			return 1
+		}
+		// Tuples additionally compare field names so that tuples with
+		// different schemas are not spuriously equal.
+		if a.K == KTuple {
+			for i := range a.Names {
+				if c := strings.Compare(a.Names[i], b.Names[i]); c != 0 {
+					return c
+				}
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports deep structural equality under the Compare order.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Key returns a canonical string encoding of v, usable as a hash-map key
+// (e.g. by the engine's hash join and duplicate elimination).
+func (v Value) Key() string {
+	var sb strings.Builder
+	v.encode(&sb)
+	return sb.String()
+}
+
+func (v Value) encode(sb *strings.Builder) {
+	switch v.K {
+	case KNull:
+		sb.WriteString("N")
+	case KBool:
+		if v.B {
+			sb.WriteString("b1")
+		} else {
+			sb.WriteString("b0")
+		}
+	case KInt:
+		// Encode ints as reals so that 5 and 5.0 share a key, mirroring
+		// Compare's numeric equality.
+		sb.WriteString("f")
+		sb.WriteString(strconv.FormatFloat(float64(v.I), 'g', -1, 64))
+	case KReal:
+		sb.WriteString("f")
+		sb.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+	case KString:
+		sb.WriteString("s")
+		sb.WriteString(strconv.Itoa(len(v.S)))
+		sb.WriteString(":")
+		sb.WriteString(v.S)
+	case KOID:
+		sb.WriteString("o")
+		sb.WriteString(strconv.FormatInt(v.OID, 10))
+	default:
+		sb.WriteString(v.K.String()[:2])
+		sb.WriteString(strconv.Itoa(len(v.Elems)))
+		sb.WriteString("[")
+		for _, e := range v.Elems {
+			e.encode(sb)
+			sb.WriteString(",")
+		}
+		sb.WriteString("]")
+		if v.K == KTuple {
+			sb.WriteString(strings.Join(v.Names, ","))
+		}
+	}
+}
+
+// String renders v in ESQL literal syntax.
+func (v Value) String() string {
+	switch v.K {
+	case KNull:
+		return "NULL"
+	case KBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KReal:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return strconv.FormatFloat(v.F, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case KOID:
+		return fmt.Sprintf("@%d", v.OID)
+	case KTuple:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = v.Names[i] + ": " + e.String()
+		}
+		return "TUPLE(" + strings.Join(parts, ", ") + ")"
+	case KSet, KBag, KList, KArray:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = e.String()
+		}
+		return strings.ToUpper(v.K.String()) + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// Convert converts a collection value to another collection kind, following
+// the paper's Figure 1 Convert function at the collection level: converting
+// a bag to a set removes duplicates; converting a set or bag to a list or
+// array yields the elements in canonical order.
+func Convert(v Value, to Kind) (Value, error) {
+	if !v.K.IsCollection() {
+		return Null, fmt.Errorf("value: convert: %s is not a collection", v.K)
+	}
+	if !to.IsCollection() {
+		return Null, fmt.Errorf("value: convert: %s is not a collection kind", to)
+	}
+	switch to {
+	case KSet:
+		return NewSet(v.Elems...), nil
+	case KBag:
+		return NewBag(v.Elems...), nil
+	case KList:
+		return NewList(v.Elems...), nil
+	case KArray:
+		return NewArray(v.Elems...), nil
+	}
+	return Null, fmt.Errorf("value: convert: unsupported target %s", to)
+}
+
+// Member reports whether elem occurs in the collection coll.
+func Member(elem, coll Value) (bool, error) {
+	if !coll.K.IsCollection() {
+		return false, fmt.Errorf("value: member: %s is not a collection", coll.K)
+	}
+	for _, e := range coll.Elems {
+		if Equal(e, elem) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Insert returns coll with elem inserted (set semantics dedupe; lists and
+// arrays append).
+func Insert(coll, elem Value) (Value, error) {
+	if !coll.K.IsCollection() {
+		return Null, fmt.Errorf("value: insert: %s is not a collection", coll.K)
+	}
+	es := append(append([]Value(nil), coll.Elems...), elem)
+	switch coll.K {
+	case KSet:
+		return NewSet(es...), nil
+	case KBag:
+		return NewBag(es...), nil
+	case KList:
+		return NewList(es...), nil
+	default:
+		return NewArray(es...), nil
+	}
+}
+
+// Remove returns coll with one occurrence of elem removed (all occurrences
+// for sets, where there is at most one).
+func Remove(coll, elem Value) (Value, error) {
+	if !coll.K.IsCollection() {
+		return Null, fmt.Errorf("value: remove: %s is not a collection", coll.K)
+	}
+	es := make([]Value, 0, len(coll.Elems))
+	removed := false
+	for _, e := range coll.Elems {
+		if !removed && Equal(e, elem) {
+			removed = true
+			continue
+		}
+		es = append(es, e)
+	}
+	switch coll.K {
+	case KSet:
+		return NewSet(es...), nil
+	case KBag:
+		return NewBag(es...), nil
+	case KList:
+		return NewList(es...), nil
+	default:
+		return NewArray(es...), nil
+	}
+}
+
+// Union returns the union of two collections of the same kind. Set union
+// deduplicates; bag union is additive; list/array union concatenates.
+func Union(a, b Value) (Value, error) {
+	if err := sameCollection(a, b, "union"); err != nil {
+		return Null, err
+	}
+	es := append(append([]Value(nil), a.Elems...), b.Elems...)
+	return rebuild(a.K, es), nil
+}
+
+// Intersection returns the intersection of two collections of the same
+// kind. For bags, multiplicities are the minimum of the two sides.
+func Intersection(a, b Value) (Value, error) {
+	if err := sameCollection(a, b, "intersection"); err != nil {
+		return Null, err
+	}
+	remaining := append([]Value(nil), b.Elems...)
+	var es []Value
+	for _, e := range a.Elems {
+		for i, r := range remaining {
+			if Equal(e, r) {
+				es = append(es, e)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return rebuild(a.K, es), nil
+}
+
+// Difference returns the difference a − b of two collections of the same
+// kind. For bags, multiplicities subtract.
+func Difference(a, b Value) (Value, error) {
+	if err := sameCollection(a, b, "difference"); err != nil {
+		return Null, err
+	}
+	remaining := append([]Value(nil), b.Elems...)
+	var es []Value
+outer:
+	for _, e := range a.Elems {
+		for i, r := range remaining {
+			if Equal(e, r) {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				continue outer
+			}
+		}
+		es = append(es, e)
+	}
+	return rebuild(a.K, es), nil
+}
+
+// Include reports whether every element of a occurs in b (subset for sets,
+// sub-multiset for bags).
+func Include(a, b Value) (bool, error) {
+	d, err := Difference(a, b)
+	if err != nil {
+		return false, err
+	}
+	return len(d.Elems) == 0, nil
+}
+
+func sameCollection(a, b Value, op string) error {
+	if !a.K.IsCollection() || !b.K.IsCollection() {
+		return fmt.Errorf("value: %s: operands must be collections, got %s and %s", op, a.K, b.K)
+	}
+	if a.K != b.K {
+		return fmt.Errorf("value: %s: collection kinds differ: %s vs %s", op, a.K, b.K)
+	}
+	return nil
+}
+
+func rebuild(k Kind, es []Value) Value {
+	switch k {
+	case KSet:
+		return NewSet(es...)
+	case KBag:
+		return NewBag(es...)
+	case KList:
+		return NewList(es...)
+	default:
+		return NewArray(es...)
+	}
+}
+
+// Choice returns an arbitrary — here: the canonically first — element of a
+// non-empty collection, after the choice function of [Manna85] cited by the
+// paper.
+func Choice(coll Value) (Value, error) {
+	if !coll.K.IsCollection() {
+		return Null, fmt.Errorf("value: choice: %s is not a collection", coll.K)
+	}
+	if len(coll.Elems) == 0 {
+		return Null, fmt.Errorf("value: choice: empty collection")
+	}
+	return coll.Elems[0], nil
+}
+
+// Append concatenates two lists or arrays, preserving order.
+func Append(a, b Value) (Value, error) {
+	if a.K != b.K || (a.K != KList && a.K != KArray) {
+		return Null, fmt.Errorf("value: append: operands must both be lists or arrays, got %s and %s", a.K, b.K)
+	}
+	es := append(append([]Value(nil), a.Elems...), b.Elems...)
+	if a.K == KList {
+		return NewList(es...), nil
+	}
+	return NewArray(es...), nil
+}

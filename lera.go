@@ -1,0 +1,119 @@
+// Package lera is a from-scratch reproduction of "A Rule-Based Query
+// Rewriter in an Extensible DBMS" (Finance & Gardarin, ICDE 1991): the
+// ESQL query language front end, the LERA extended relational algebra, a
+// term-rewriting rule language with constraints and method calls, the
+// block/sequence control strategy of the paper's Section 4.2, the
+// syntactic and semantic rule libraries of Sections 5-6 (operation
+// merging, permutation, Alexander fixpoint reduction, integrity-constraint
+// addition, predicate simplification), and an in-memory execution engine
+// that measures the effect of each rewrite.
+//
+// The public API re-exports the assembled system:
+//
+//	s := lera.NewSession()
+//	s.MustExec(`TABLE T (a : INT, b : CHAR); INSERT INTO T VALUES (1, 'x');`)
+//	res, err := s.Query("SELECT b FROM T WHERE a = 1")
+//
+// Database implementors extend the optimizer without touching the engine:
+// new rules via WithRules, integrity constraints via WithConstraints, and
+// new ADT functions through the session catalog's ADT registry — the
+// paper's central extensibility claim.
+package lera
+
+import (
+	"lera/internal/catalog"
+	"lera/internal/core"
+	"lera/internal/engine"
+	lalg "lera/internal/lera"
+	"lera/internal/rewrite"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// Session is the full pipeline: ESQL text in, declarations, stored rows
+// and executed (rewritten) query results out.
+type Session = core.Session
+
+// Result is the outcome of one executed statement.
+type Result = core.Result
+
+// Result kinds.
+const (
+	ResultDDL    = core.ResultDDL
+	ResultInsert = core.ResultInsert
+	ResultRows   = core.ResultRows
+)
+
+// Rewriter is the assembled rule-based rewriter.
+type Rewriter = core.Rewriter
+
+// Option configures a Rewriter or Session.
+type Option = core.Option
+
+// Catalog is the schema catalog (types, relations, views, constraints).
+type Catalog = catalog.Catalog
+
+// DB is the in-memory execution engine.
+type DB = engine.DB
+
+// Value is a runtime ESQL value.
+type Value = value.Value
+
+// Term is the uniform term representation shared by queries and rules.
+type Term = term.Term
+
+// Stats aggregates rewrite work (condition checks, applications, rounds).
+type Stats = rewrite.Stats
+
+// TraceEntry records one rule application (see Rewriter.Explain).
+type TraceEntry = rewrite.TraceEntry
+
+// NewSession creates a session with an empty catalog and database.
+func NewSession(opts ...Option) *Session { return core.NewSession(opts...) }
+
+// NewRewriter builds a rewriter over an existing catalog.
+func NewRewriter(cat *Catalog, opts ...Option) (*Rewriter, error) { return core.New(cat, opts...) }
+
+// NewCatalog creates an empty catalog with the built-in types and the
+// Figure 1 ADT function library.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// Rewriter options (see the paper's §4.2 and §7).
+var (
+	// WithTrace records a rule-application trace for Explain.
+	WithTrace = core.WithTrace
+	// WithDynamicLimits scales block budgets by query complexity, with
+	// zero budgets for key-lookup-simple queries (§7).
+	WithDynamicLimits = core.WithDynamicLimits
+	// WithMaxChecks caps total condition checks.
+	WithMaxChecks = core.WithMaxChecks
+	// WithRules adds implementor-written rules in the rule language.
+	WithRules = core.WithRules
+	// WithConstraints adds Figure 10-style integrity constraints.
+	WithConstraints = core.WithConstraints
+	// WithConstraintLimit bounds the constraints block budget.
+	WithConstraintLimit = core.WithConstraintLimit
+	// WithSequence replaces the master block sequence.
+	WithSequence = core.WithSequence
+	// WithoutBlock disables one optimizer block (§7's zero limit).
+	WithoutBlock = core.WithoutBlock
+	// WithBlockLimit overrides one block's budget.
+	WithBlockLimit = core.WithBlockLimit
+	// WithPlanning enables the §7 planning-hint extension: join operands
+	// reorder by estimated cardinality, smallest first.
+	WithPlanning = core.WithPlanning
+)
+
+// Format renders a LERA term in the paper's concrete syntax, e.g.
+// search((APPEARS_IN, FILM), [1.1=2.1 ∧ ...], (2.2, 2.3, salary(1.2))).
+func Format(t *Term) string { return lalg.Format(t) }
+
+// FormatResult renders a query result as an aligned text table.
+func FormatResult(r *Result) string { return core.FormatResult(r) }
+
+// OperatorCount counts relational operator nodes in a LERA term — the
+// program-size metric of §5.1's merging claim.
+func OperatorCount(t *Term) int { return lalg.OperatorCount(t) }
+
+// SearchCount counts SEARCH nodes.
+func SearchCount(t *Term) int { return lalg.SearchCount(t) }
