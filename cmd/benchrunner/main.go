@@ -50,6 +50,7 @@ func main() {
 	run(7, e7BlockLimits)
 	run(8, e8RepeatedBlocks)
 	run(10, e10Planning)
+	run(11, e11Guardrails)
 }
 
 // --- workload builders ---
@@ -128,13 +129,18 @@ func randGraph(n, e int) [][2]int {
 	return out
 }
 
-// measure runs a query and returns (rows, counters, duration).
+// measure runs a query and returns (rows, counters, duration). A
+// degraded rewrite (guard fallback) is flagged so that no experiment
+// silently reports fallback-plan numbers as optimized ones.
 func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Duration) {
 	s.DB.ResetCounters()
 	start := time.Now()
 	res, err := s.Query(q)
 	if err != nil {
 		panic(err)
+	}
+	if res.Stats != nil && res.Stats.Degraded {
+		fmt.Fprintf(os.Stderr, "benchrunner: degraded rewrite for %q: %s\n", q, res.Stats.DegradationReason)
 	}
 	return res, s.DB.Count, time.Since(start)
 }
@@ -442,6 +448,55 @@ func e10Planning() {
 		ratio := float64(cBase.JoinPairs) / float64(maxInt(cPlan.JoinPairs, 1))
 		fmt.Printf("%d | %d | %d | %.1fx\n", n, cBase.JoinPairs, cPlan.JoinPairs, ratio)
 	}
+}
+
+// --- E11: guardrails — degradation cost under a hostile rule base ---
+
+func e11Guardrails() {
+	header("E11 — guardrails: graceful degradation under a divergent rule base",
+		"Robustness extension (beyond the paper): a rule base that never terminates must not take queries down — the session answers from the last safe plan and reports why.",
+		"step cap | degraded | reason | condition checks | rows | time")
+	// The spin rule wraps every SEARCH in an identity FILTER forever:
+	// syntactically divergent, semantically a no-op, so every fallback
+	// plan returns the correct rows.
+	spin := []lera.Option{
+		lera.WithRules(`
+rule spin: SEARCH(rl, f, p) --> FILTER(SEARCH(rl, f, p), TRUE);
+block(spinb, {spin}, inf);
+`),
+		lera.WithSequence("seq({spinb}, 1);"),
+	}
+	const n = 5000
+	q := "SELECT Title FROM FILM WHERE Numf > 2500"
+	for _, cap := range []int{1, 8, 64, 512} {
+		s := filmsLike(n, spin...)
+		s.Limits = lera.Limits{MaxSteps: cap}
+		s.DB.ResetCounters()
+		start := time.Now()
+		res, err := s.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		degraded, reason, checks := false, "-", 0
+		if res.Stats != nil {
+			degraded = res.Stats.Degraded
+			checks = res.Stats.ConditionChecks
+			if degraded {
+				reason = firstWords(res.Stats.DegradationReason, 4)
+			}
+		}
+		fmt.Printf("%d | %v | %s | %d | %d | %s\n", cap, degraded, reason, checks, len(res.Rows), round(d))
+	}
+}
+
+// firstWords truncates a reason string for table display.
+func firstWords(s string, n int) string {
+	f := strings.Fields(s)
+	if len(f) > n {
+		f = f[:n]
+	}
+	return strings.Join(f, " ")
 }
 
 func maxInt(a, b int) int {

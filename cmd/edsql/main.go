@@ -8,10 +8,20 @@
 //	\films           load the paper's Figure 2-5 example database
 //	\tables          list relations and views
 //	\help            this text
+//
+// Guardrail flags (see docs/GUARDRAILS.md):
+//
+//	--timeout D      per-phase wall-clock budget (e.g. 2s, 500ms)
+//	--max-steps N    cap on committed rule applications per query
+//	--max-rows N     cap on rows materialized during execution
+//
+// When a budget interrupts the rewriter, the shell still answers the
+// query from the fallback plan and prints a one-line degradation notice.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -22,7 +32,13 @@ import (
 )
 
 func main() {
+	timeout := flag.Duration("timeout", 0, "per-phase wall-clock budget for rewrite and execution (0 = none)")
+	maxSteps := flag.Int("max-steps", 0, "cap on committed rule applications per query (0 = none)")
+	maxRows := flag.Int("max-rows", 0, "cap on rows materialized during execution (0 = none)")
+	flag.Parse()
+
 	s := lera.NewSession()
+	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
 	showPlan := true
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -106,6 +122,9 @@ func run(s *lera.Session, showPlan bool, src string) {
 			if s.Rewrite {
 				fmt.Println("rewritten: ", lera.Format(r.Rewritten))
 			}
+		}
+		if r.Stats != nil && r.Stats.Degraded {
+			fmt.Println("notice: rewrite degraded, answered from fallback plan —", r.Stats.DegradationReason)
 		}
 		fmt.Println(lera.FormatResult(r))
 	}

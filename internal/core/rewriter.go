@@ -12,10 +12,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"lera/internal/catalog"
+	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/lopt"
 	"lera/internal/magic"
@@ -200,10 +202,11 @@ func complexity(q *term.Term) int {
 // search on a key" and gets zero budgets (§7).
 const simpleThreshold = 3
 
-func (r *Rewriter) newEngine(q *term.Term) *rewrite.Engine {
+func (r *Rewriter) newEngine(q *term.Term, lim guard.Limits) *rewrite.Engine {
 	opts := rewrite.Options{
 		CollectTrace: r.cfg.trace,
 		MaxChecks:    r.cfg.maxChecks,
+		Limits:       lim,
 	}
 	limits := map[string]int{}
 	for k, v := range r.cfg.blockLimits {
@@ -227,17 +230,36 @@ func (r *Rewriter) newEngine(q *term.Term) *rewrite.Engine {
 	return rewrite.New(r.RS, r.Ext, r.Cat, opts)
 }
 
-// Rewrite runs the full optimizer sequence on a LERA term.
+// Rewrite runs the full optimizer sequence on a LERA term with no
+// cancellation and no budget (see RewriteCtx).
 func (r *Rewriter) Rewrite(q *term.Term) (*term.Term, *rewrite.Stats, error) {
-	e := r.newEngine(q)
-	out, st, err := e.Run(q)
+	return r.RewriteCtx(context.Background(), q, guard.Limits{})
+}
+
+// RewriteCtx runs the full optimizer sequence under a cancellation
+// context and a guard budget. On error the returned Stats (if non-nil)
+// reflect the work done before the failure, and LastGood holds the best
+// safe intermediate term to fall back to.
+func (r *Rewriter) RewriteCtx(ctx context.Context, q *term.Term, lim guard.Limits) (*term.Term, *rewrite.Stats, error) {
+	e := r.newEngine(q, lim)
+	out, st, err := e.RunCtx(ctx, q)
 	r.engine = e
 	return out, st, err
 }
 
+// LastGood returns the query term as of the last committed rule
+// application of the most recent Rewrite — the fallback plan when the
+// rewrite failed partway (nil before any run).
+func (r *Rewriter) LastGood() *term.Term {
+	if r.engine == nil {
+		return nil
+	}
+	return r.engine.LastGood()
+}
+
 // RewriteBlock runs a single block (for tests and experiments).
 func (r *Rewriter) RewriteBlock(q *term.Term, block string) (*term.Term, *rewrite.Stats, error) {
-	e := r.newEngine(q)
+	e := r.newEngine(q, guard.Limits{})
 	out, st, err := e.RunBlock(q, block)
 	r.engine = e
 	return out, st, err

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"lera/internal/catalog"
 	"lera/internal/engine"
 	"lera/internal/esql"
+	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/rewrite"
 	"lera/internal/term"
@@ -25,6 +27,13 @@ type Session struct {
 	rw      *Rewriter
 	stale   bool
 	Rewrite bool // rewriting enabled (true by default)
+
+	// Limits is the per-query guard budget (see internal/guard and
+	// docs/GUARDRAILS.md). The zero value means no limits. The Timeout is
+	// applied to the rewrite and execute phases separately, so a rewrite
+	// that burns its whole budget still leaves the fallback plan time to
+	// run.
+	Limits guard.Limits
 }
 
 // NewSession creates a session with an empty catalog and database.
@@ -76,15 +85,22 @@ type Result struct {
 	Stats     *rewrite.Stats
 }
 
-// Exec parses and executes a sequence of ESQL statements.
+// Exec parses and executes a sequence of ESQL statements with no
+// cancellation (see ExecCtx).
 func (s *Session) Exec(src string) ([]*Result, error) {
+	return s.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx parses and executes a sequence of ESQL statements under a
+// cancellation context.
+func (s *Session) ExecCtx(ctx context.Context, src string) ([]*Result, error) {
 	stmts, err := esql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	var out []*Result
 	for _, st := range stmts {
-		r, err := s.ExecStmt(st)
+		r, err := s.ExecStmtCtx(ctx, st)
 		if err != nil {
 			return out, err
 		}
@@ -104,15 +120,25 @@ func (s *Session) MustExec(src string) []*Result {
 
 // Query executes a single SELECT and returns its result.
 func (s *Session) Query(src string) (*Result, error) {
+	return s.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx executes a single SELECT under a cancellation context.
+func (s *Session) QueryCtx(ctx context.Context, src string) (*Result, error) {
 	q, err := esql.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecSelect(q)
+	return s.ExecSelectCtx(ctx, q)
 }
 
-// ExecStmt executes one parsed statement.
+// ExecStmt executes one parsed statement with no cancellation.
 func (s *Session) ExecStmt(st esql.Stmt) (*Result, error) {
+	return s.ExecStmtCtx(context.Background(), st)
+}
+
+// ExecStmtCtx executes one parsed statement under a cancellation context.
+func (s *Session) ExecStmtCtx(ctx context.Context, st esql.Stmt) (*Result, error) {
 	switch d := st.(type) {
 	case *esql.TypeDecl:
 		if err := translate.DeclareType(s.Cat, d); err != nil {
@@ -149,29 +175,36 @@ func (s *Session) ExecStmt(st esql.Stmt) (*Result, error) {
 		}
 		return &Result{Kind: ResultInsert, Message: fmt.Sprintf("%d rows inserted into %s", len(rows), name)}, nil
 	case *esql.Select:
-		return s.ExecSelect(d)
+		return s.ExecSelectCtx(ctx, d)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", st)
 }
 
-// ExecSelect translates, rewrites and executes one SELECT.
+// ExecSelect translates, rewrites and executes one SELECT with no
+// cancellation (see ExecSelectCtx).
 func (s *Session) ExecSelect(sel *esql.Select) (*Result, error) {
+	return s.ExecSelectCtx(context.Background(), sel)
+}
+
+// ExecSelectCtx translates, rewrites and executes one SELECT under a
+// cancellation context and the session's guard Limits.
+//
+// Rewriting degrades gracefully: if the optimizer fails — an external
+// panicked, the budget ran out, the deadline fired — the query is NOT
+// lost. The session falls back to the last fully-validated intermediate
+// term (or the initial translated term when no rule committed) and
+// executes that instead; Result.Stats records Degraded and the reason.
+// Execution errors, by contrast, are real failures and are returned,
+// but the Result is returned alongside them so callers can see which
+// plan was running.
+func (s *Session) ExecSelectCtx(ctx context.Context, sel *esql.Select) (*Result, error) {
 	q, err := translate.Select(s.Cat, sel)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Kind: ResultRows, Initial: q, Rewritten: q}
 	if s.Rewrite {
-		rw, err := s.Rewriter()
-		if err != nil {
-			return nil, err
-		}
-		rq, st, err := rw.Rewrite(q)
-		if err != nil {
-			return nil, err
-		}
-		res.Rewritten = rq
-		res.Stats = st
+		res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
 	}
 	schema, err := lera.Infer(res.Rewritten, s.Cat, nil)
 	if err == nil {
@@ -179,13 +212,50 @@ func (s *Session) ExecSelect(sel *esql.Select) (*Result, error) {
 			res.Columns = append(res.Columns, c.Name)
 		}
 	}
-	rel, err := s.DB.Eval(res.Rewritten)
+	execCtx := ctx
+	cancel := func() {}
+	if s.Limits.Timeout > 0 {
+		execCtx, cancel = context.WithTimeout(ctx, s.Limits.Timeout)
+	}
+	defer cancel()
+	s.DB.Limits = s.Limits
+	rel, err := s.DB.EvalCtx(execCtx, res.Rewritten)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	res.Rows = rel.Rows
 	res.Message = fmt.Sprintf("%d rows", len(rel.Rows))
 	return res, nil
+}
+
+// rewriteGuarded runs the optimizer under the session Limits and never
+// fails: on any rewrite error it returns a safe fallback term (the last
+// committed intermediate, else the untouched input) with the degradation
+// recorded in the returned Stats.
+func (s *Session) rewriteGuarded(ctx context.Context, q *term.Term) (*term.Term, *rewrite.Stats) {
+	rw, err := s.Rewriter()
+	if err != nil {
+		return q, &rewrite.Stats{Degraded: true, DegradationReason: "rewriter unavailable: " + err.Error()}
+	}
+	rwCtx := ctx
+	cancel := func() {}
+	if s.Limits.Timeout > 0 {
+		rwCtx, cancel = context.WithTimeout(ctx, s.Limits.Timeout)
+	}
+	defer cancel()
+	rq, st, err := rw.RewriteCtx(rwCtx, q, s.Limits)
+	if err == nil {
+		return rq, st
+	}
+	if st == nil {
+		st = &rewrite.Stats{}
+	}
+	st.Degraded = true
+	st.DegradationReason = err.Error()
+	if lg := rw.LastGood(); lg != nil {
+		return lg, st
+	}
+	return q, st
 }
 
 // SetObject registers an object in the session's object store (the ESQL

@@ -13,10 +13,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"lera/internal/catalog"
+	"lera/internal/guard"
 	"lera/internal/term"
 	"lera/internal/value"
 )
@@ -95,8 +97,66 @@ type DB struct {
 	Objects map[int64]value.Value
 	Mode    FixMode
 	Count   Counters
+	// Limits is the guard budget enforced during evaluation: MaxRows caps
+	// cumulative materialized rows per EvalCtx call, MaxFixIterations caps
+	// each fixpoint instance. The zero value means "defaults" (see
+	// internal/guard).
+	Limits guard.Limits
 
 	rels map[string]*Relation
+	g    *evalGuard // per-EvalCtx guard state (nil outside a call)
+}
+
+// evalGuard is the per-evaluation guard state: the cancellation context,
+// an amortizing tick counter for the tuple-at-a-time hot path, and the
+// cumulative materialized-row charge.
+type evalGuard struct {
+	ctx  context.Context
+	lim  guard.Limits
+	tick int
+	rows int
+}
+
+// guardTickInterval amortizes context checks in the row hot path: the
+// context is consulted once per this many ticks (power of two).
+const guardTickInterval = 256
+
+// tickRow is the amortized cancellation check, called once per row (or
+// join pair) in the evaluation hot loops. It only touches the context
+// every guardTickInterval calls so the fast path stays an increment and a
+// mask.
+func (db *DB) tickRow() error {
+	g := db.g
+	if g == nil {
+		return nil
+	}
+	g.tick++
+	if g.tick&(guardTickInterval-1) != 0 {
+		return nil
+	}
+	return guard.CheckCtx(g.ctx)
+}
+
+// checkCtx is the unamortized cancellation check for coarse-grained points
+// (fixpoint rounds).
+func (db *DB) checkCtx() error {
+	if db.g == nil {
+		return nil
+	}
+	return guard.CheckCtx(db.g.ctx)
+}
+
+// chargeRows charges n freshly materialized rows against the row budget.
+func (db *DB) chargeRows(n int) error {
+	g := db.g
+	if g == nil {
+		return nil
+	}
+	g.rows += n
+	if max := g.lim.MaxRows; max > 0 && g.rows > max {
+		return fmt.Errorf("engine: %w: %d rows materialized (cap %d)", guard.ErrRowBudget, g.rows, max)
+	}
+	return nil
 }
 
 // New creates an empty database over a catalog.
@@ -159,8 +219,21 @@ func (e env) clone() env {
 	return ne
 }
 
-// Eval evaluates a relational LERA term.
+// Eval evaluates a relational LERA term with no cancellation (see
+// EvalCtx).
 func (db *DB) Eval(t *term.Term) (*Relation, error) {
+	return db.EvalCtx(context.Background(), t)
+}
+
+// EvalCtx evaluates a relational LERA term under a cancellation context
+// and the DB's Limits. Cancellation is checked amortized in the
+// tuple-at-a-time hot path (every guardTickInterval rows) and at every
+// fixpoint round; the row budget is charged wherever an operator
+// materializes its output.
+func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
+	prev := db.g
+	db.g = &evalGuard{ctx: ctx, lim: db.Limits}
+	defer func() { db.g = prev }()
 	return db.eval(t, env{})
 }
 
@@ -193,6 +266,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 		}
 		out := &Relation{}
 		for _, row := range in.Rows {
+			if err := db.tickRow(); err != nil {
+				return nil, err
+			}
 			ok, err := db.evalBool(t.Args[1], [][]value.Value{row})
 			if err != nil {
 				return nil, err
@@ -203,6 +279,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 		}
 		out = out.Dedup()
 		db.Count.Emitted += len(out.Rows)
+		if err := db.chargeRows(len(out.Rows)); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case "JOIN":
@@ -217,6 +296,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 		out := &Relation{}
 		for _, l := range left.Rows {
 			for _, r := range right.Rows {
+				if err := db.tickRow(); err != nil {
+					return nil, err
+				}
 				db.Count.JoinPairs++
 				ok, err := db.evalBool(t.Args[2], [][]value.Value{l, r})
 				if err != nil {
@@ -229,6 +311,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 		}
 		out = out.Dedup()
 		db.Count.Emitted += len(out.Rows)
+		if err := db.chargeRows(len(out.Rows)); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case "UNIONN":
@@ -242,6 +327,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 		}
 		out = out.Dedup()
 		db.Count.Emitted += len(out.Rows)
+		if err := db.chargeRows(len(out.Rows)); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case "INTERN":
@@ -281,6 +369,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 			}
 		}
 		db.Count.Emitted += len(out.Rows)
+		if err := db.chargeRows(len(out.Rows)); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case "DIFF":
@@ -306,6 +397,9 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 			}
 		}
 		db.Count.Emitted += len(out.Rows)
+		if err := db.chargeRows(len(out.Rows)); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case "LET":
@@ -384,6 +478,9 @@ func (db *DB) evalNest(t *term.Term, e env) (*Relation, error) {
 		out.Rows = append(out.Rows, append(append([]value.Value(nil), g.key...), value.NewSet(g.elems...)))
 	}
 	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -395,6 +492,9 @@ func (db *DB) evalUnnest(t *term.Term, e env) (*Relation, error) {
 	j := int(t.Args[1].Val.I)
 	out := &Relation{}
 	for _, row := range in.Rows {
+		if err := db.tickRow(); err != nil {
+			return nil, err
+		}
 		if j < 1 || j > len(row) {
 			return nil, fmt.Errorf("engine: UNNEST index %d out of range", j)
 		}
@@ -410,5 +510,8 @@ func (db *DB) evalUnnest(t *term.Term, e env) (*Relation, error) {
 	}
 	out = out.Dedup()
 	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

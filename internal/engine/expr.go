@@ -10,6 +10,7 @@ package engine
 import (
 	"fmt"
 
+	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/term"
 	"lera/internal/value"
@@ -102,7 +103,7 @@ func (db *DB) evalExpr(e *term.Term, rows [][]value.Value) (value.Value, error) 
 		if b.K.IsCollection() && !a.K.IsCollection() {
 			return db.broadcastCmp(e.Functor, b, a, true)
 		}
-		return db.Cat.ADTs.Call(e.Functor, []value.Value{a, b})
+		return db.adtCall(e.Functor, []value.Value{a, b})
 
 	case term.FSet, term.FBag, term.FList, term.FArray:
 		elems := make([]value.Value, len(e.Args))
@@ -144,7 +145,7 @@ func (db *DB) broadcastCmp(op string, coll, scalar value.Value, scalarLeft bool)
 		if scalarLeft {
 			a, b = scalar, el
 		}
-		r, err := db.Cat.ADTs.Call(op, []value.Value{a, b})
+		r, err := db.adtCall(op, []value.Value{a, b})
 		if err != nil {
 			return value.Null, err
 		}
@@ -231,6 +232,20 @@ func (db *DB) call(name string, args []value.Value) (value.Value, error) {
 			}
 		}
 	}
+	return db.adtCall(name, args)
+}
+
+// adtCall invokes an ADT function through the catalog registry with panic
+// isolation: implementor-registered functions run arbitrary code, and a
+// panic must surface as a typed ExternalError instead of unwinding the
+// evaluator.
+func (db *DB) adtCall(name string, args []value.Value) (v value.Value, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v = value.Null
+			err = guard.NewExternalPanic(guard.ExtADT, "", name, "", p)
+		}
+	}()
 	return db.Cat.ADTs.Call(name, args)
 }
 

@@ -30,11 +30,21 @@ func (db *DB) evalFix(t *term.Term, e env) (*Relation, error) {
 	return db.fixSemiNaive(name, body, e)
 }
 
+// fixIterCap returns the per-instance iteration cap: every FIX subterm
+// gets its own budget (the shared Counters.FixIterations is kept for
+// stats only, so several fixpoints in one query cannot trip each other's
+// cap). Configured through DB.Limits; guards against non-monotone bodies.
+func (db *DB) fixIterCap() int { return db.Limits.FixIterations() }
+
 func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 	total := &Relation{}
 	seen := map[string]bool{}
-	for {
+	cap := db.fixIterCap()
+	for iters := 1; ; iters++ {
 		db.Count.FixIterations++
+		if err := db.checkCtx(); err != nil {
+			return nil, err
+		}
 		inner := e.clone()
 		inner[name] = total
 		r, err := db.eval(body, inner)
@@ -55,14 +65,11 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 		if !grew {
 			return total, nil
 		}
-		if db.Count.FixIterations > maxFixIterations {
-			return nil, fmt.Errorf("engine: fixpoint %s exceeded %d iterations", name, maxFixIterations)
+		if iters >= cap {
+			return nil, fmt.Errorf("engine: naive fixpoint %s still growing after %d iterations (cap %d)", name, iters, cap)
 		}
 	}
 }
-
-// maxFixIterations guards against non-monotone bodies.
-const maxFixIterations = 1_000_000
 
 func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, error) {
 	// Split the body into base members (no reference to name) and
@@ -113,10 +120,14 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 	}
 	delta := add(firstRows)
 
-	for len(delta.Rows) > 0 {
+	cap := db.fixIterCap()
+	for iters := 1; len(delta.Rows) > 0; iters++ {
 		db.Count.FixIterations++
-		if db.Count.FixIterations > maxFixIterations {
-			return nil, fmt.Errorf("engine: fixpoint %s exceeded %d iterations", name, maxFixIterations)
+		if err := db.checkCtx(); err != nil {
+			return nil, err
+		}
+		if iters > cap {
+			return nil, fmt.Errorf("engine: semi-naive fixpoint %s still growing after %d iterations (cap %d)", name, iters, cap)
 		}
 		var newRows [][]value.Value
 		for _, m := range rec {

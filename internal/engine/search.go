@@ -130,6 +130,9 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 					kb = append(kb, prow[k])
 				}
 				for _, rrow := range build[rowKey(kb)] {
+					if err := db.tickRow(); err != nil {
+						return nil, err
+					}
 					db.Count.JoinPairs++
 					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
 				}
@@ -137,6 +140,9 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 		} else {
 			for _, prow := range current {
 				for _, rrow := range next {
+					if err := db.tickRow(); err != nil {
+						return nil, err
+					}
 					db.Count.JoinPairs++
 					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
 				}
@@ -151,6 +157,9 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 	// Any conjuncts not yet applied (e.g. referencing no attributes).
 	out := &Relation{}
 	for _, row := range current {
+		if err := db.tickRow(); err != nil {
+			return nil, err
+		}
 		ok := true
 		for ci := range plan.conjs {
 			c := &plan.conjs[ci]
@@ -186,6 +195,9 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 	// search through a set union sound for non-injective projections.
 	out = out.Dedup()
 	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -205,6 +217,9 @@ func (db *DB) filterRows(rows [][]value.Value, plan *searchPlan, upto int, width
 	}
 	var out [][]value.Value
 	for _, row := range rows {
+		if err := db.tickRow(); err != nil {
+			return nil, err
+		}
 		split := splitRow(row, widths)
 		keep := true
 		for _, c := range active {

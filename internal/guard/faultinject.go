@@ -1,0 +1,121 @@
+package guard
+
+// Deterministic fault injection for externals. Tests register an Injector
+// hit at the head of a constraint/method/builtin/ADT function; the
+// injector counts calls per name and fires the armed fault on the Nth
+// call — panic, error, or stall — so every degradation path of the
+// pipeline is exercised deterministically rather than asserted.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultMode selects what an armed fault does when it fires.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultNone: fire as a no-op (the call is still counted).
+	FaultNone FaultMode = iota
+	// FaultPanic: panic with PanicValue (default "injected panic").
+	FaultPanic
+	// FaultError: return Err (default a generic injected error).
+	FaultError
+	// FaultStall: block for Stall, or until the supplied context is done,
+	// whichever comes first; a cancelled context returns its (typed)
+	// error, an elapsed stall returns nil.
+	FaultStall
+)
+
+// Fault is one armed fault.
+type Fault struct {
+	// OnCall is the 1-based call index the fault fires on; 0 fires on
+	// every call.
+	OnCall int
+	Mode   FaultMode
+	// Stall is the FaultStall duration.
+	Stall time.Duration
+	// Err overrides the FaultError error.
+	Err error
+	// PanicValue overrides the FaultPanic value.
+	PanicValue any
+}
+
+// Injector counts calls per external name and fires armed faults. Safe
+// for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	calls  map[string]int
+	faults map[string]Fault
+}
+
+// NewInjector returns an empty injector: all hits are counted no-ops
+// until faults are armed with Set.
+func NewInjector() *Injector {
+	return &Injector{calls: map[string]int{}, faults: map[string]Fault{}}
+}
+
+// Set arms a fault for the named external, replacing any previous one.
+func (in *Injector) Set(name string, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults[name] = f
+}
+
+// Calls reports how many times the named external has hit the injector.
+func (in *Injector) Calls(name string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[name]
+}
+
+// Reset zeroes all call counters (armed faults stay armed).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls = map[string]int{}
+}
+
+// Hit records one call to the named external and fires its armed fault if
+// the call index matches. ctx may be nil; it is only consulted by
+// FaultStall.
+func (in *Injector) Hit(ctx context.Context, name string) error {
+	in.mu.Lock()
+	in.calls[name]++
+	n := in.calls[name]
+	f, armed := in.faults[name]
+	in.mu.Unlock()
+	if !armed || (f.OnCall != 0 && n != f.OnCall) {
+		return nil
+	}
+	switch f.Mode {
+	case FaultPanic:
+		p := f.PanicValue
+		if p == nil {
+			p = fmt.Sprintf("injected panic (%s call %d)", name, n)
+		}
+		panic(p)
+	case FaultError:
+		if f.Err != nil {
+			return f.Err
+		}
+		return fmt.Errorf("injected error (%s call %d)", name, n)
+	case FaultStall:
+		timer := time.NewTimer(f.Stall)
+		defer timer.Stop()
+		if ctx == nil {
+			<-timer.C
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return CheckCtx(ctx)
+		case <-timer.C:
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package guard is the query guardrail layer: resource limits, typed
+// budget errors, and panic isolation for the rewrite/execute pipeline.
+//
+// The paper's extensibility claim — implementors add rules and externals
+// without touching the engine — only holds if the engine survives whatever
+// they add: non-terminating rule sets, term-size blowups, and panicking
+// external code. This package supplies the vocabulary the pipeline uses to
+// defend itself: a Limits budget enforced with errors distinguishable via
+// errors.Is/As, an ExternalError that wraps a recovered panic with enough
+// context to name the offending rule and external, and a deterministic
+// fault injector (faultinject.go) so every degradation path is exercised
+// by tests rather than asserted.
+//
+// guard is a leaf package: it imports only the standard library, so every
+// layer (rewrite, engine, core, cmd) can depend on it freely.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed budget errors. Wrapped errors carry detail (counts, caps); callers
+// classify with errors.Is.
+var (
+	// ErrDeadline: the wall-clock budget expired (context deadline).
+	ErrDeadline = errors.New("guard: deadline exceeded")
+	// ErrStepBudget: the global rule-application step cap was reached
+	// during rewriting.
+	ErrStepBudget = errors.New("guard: rewrite step budget exhausted")
+	// ErrTermSize: a rewrite grew the query term past the size cap.
+	ErrTermSize = errors.New("guard: term size limit exceeded")
+	// ErrRowBudget: execution materialized more rows than allowed.
+	ErrRowBudget = errors.New("guard: row budget exceeded")
+)
+
+// DefaultMaxFixIterations bounds fixpoint rounds when Limits leaves
+// MaxFixIterations zero (guards against non-monotone bodies).
+const DefaultMaxFixIterations = 1_000_000
+
+// Limits is the per-query resource budget. The zero value means
+// "no limits" (except the fixpoint cap, which always defaults).
+type Limits struct {
+	// Timeout is the wall-clock budget applied to each pipeline phase
+	// (rewrite, execute) separately, so a rewrite that burns its budget
+	// can still degrade to a plan the execution phase has time to run.
+	// 0 means no deadline.
+	Timeout time.Duration
+	// MaxSteps caps successful rule applications across all blocks of one
+	// rewrite. 0 means unlimited.
+	MaxSteps int
+	// MaxTermSize caps the node count of the query term during rewriting.
+	// 0 means unlimited.
+	MaxTermSize int
+	// MaxRows caps the cumulative number of rows materialized by
+	// relational operators during execution. 0 means unlimited.
+	MaxRows int
+	// MaxFixIterations caps iterations of each fixpoint instance
+	// (per FIX subterm, not shared across them). 0 means
+	// DefaultMaxFixIterations.
+	MaxFixIterations int
+}
+
+// FixIterations returns the effective per-instance fixpoint iteration cap.
+func (l Limits) FixIterations() int {
+	if l.MaxFixIterations > 0 {
+		return l.MaxFixIterations
+	}
+	return DefaultMaxFixIterations
+}
+
+// CheckCtx translates context cancellation into the guard vocabulary: a
+// deadline expiry reports ErrDeadline (still matching
+// context.DeadlineExceeded via errors.Is), a plain cancellation passes
+// through as context.Canceled. A nil or live context returns nil.
+func CheckCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
+	return err
+}
+
+// ExternalKind names the kind of external whose invocation failed.
+type ExternalKind string
+
+// External kinds.
+const (
+	ExtConstraint ExternalKind = "constraint"
+	ExtMethod     ExternalKind = "method"
+	ExtBuiltin    ExternalKind = "builtin"
+	ExtADT        ExternalKind = "adt function"
+)
+
+// ExternalError reports a failure inside implementor-supplied code — a
+// rule constraint, method, right-hand-side builtin, or ADT function —
+// converted from a panic (Panic non-nil) or wrapped from a returned error
+// (Err non-nil). Rule and Site are empty when the external was not invoked
+// from a rewrite rule (e.g. an ADT call during execution).
+type ExternalError struct {
+	Kind     ExternalKind
+	Rule     string // rule that invoked the external, if any
+	External string // name of the external function
+	Site     string // match-site path within the query term, if any
+	Panic    any    // recovered panic value, nil when Err is set
+	Err      error  // underlying error, nil when Panic is set
+}
+
+// NewExternalPanic converts a recovered panic value into an ExternalError.
+func NewExternalPanic(kind ExternalKind, rule, external, site string, p any) *ExternalError {
+	return &ExternalError{Kind: kind, Rule: rule, External: external, Site: site, Panic: p}
+}
+
+// Error implements error.
+func (e *ExternalError) Error() string {
+	verb := "failed"
+	detail := ""
+	if e.Panic != nil {
+		verb = "panicked"
+		detail = fmt.Sprintf(": %v", e.Panic)
+	} else if e.Err != nil {
+		detail = fmt.Sprintf(": %v", e.Err)
+	}
+	where := ""
+	if e.Rule != "" {
+		where = fmt.Sprintf(" in rule %s", e.Rule)
+	}
+	if e.Site != "" {
+		where += fmt.Sprintf(" at %s", e.Site)
+	}
+	return fmt.Sprintf("guard: %s %s %s%s%s", e.Kind, e.External, verb, where, detail)
+}
+
+// Unwrap exposes the underlying error (nil for panics).
+func (e *ExternalError) Unwrap() error { return e.Err }

@@ -11,11 +11,13 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"lera/internal/catalog"
+	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/rules"
 	"lera/internal/term"
@@ -29,8 +31,19 @@ type Ctx struct {
 	Root *term.Term // the whole query term being rewritten
 	Site term.Path  // path of the subterm being matched
 	Bind *term.Bindings
+	Rule string // name of the rule being applied, if any
 
 	engine *Engine
+}
+
+// Context returns the cancellation context of the current engine run, so
+// long-running externals can abort cooperatively (context.Background when
+// the run is unguarded).
+func (c *Ctx) Context() context.Context {
+	if c.engine != nil && c.engine.ctx != nil {
+		return c.engine.ctx
+	}
+	return context.Background()
 }
 
 // Fresh returns a fresh relation name with the given prefix, unique within
@@ -239,6 +252,13 @@ type Stats struct {
 	Applications    int // successful rewrites
 	Rounds          int // sequence iterations executed
 	BudgetExhausted bool
+
+	// Degraded records graceful degradation: the rewrite failed, panicked
+	// or exhausted a guard budget, and the session fell back to the best
+	// safe plan (see internal/guard and docs/GUARDRAILS.md). The stats
+	// above are then partial — the work done before the failure.
+	Degraded          bool
+	DegradationReason string
 }
 
 // Options configure a run.
@@ -252,6 +272,11 @@ type Options struct {
 	// BlockLimitOverride, if non-nil, replaces every block's limit —
 	// the §7 dynamic-limit hook.
 	BlockLimitOverride func(block string, declared int) int
+	// Limits is the guard budget enforced during the run: MaxSteps caps
+	// successful applications across all blocks, MaxTermSize caps the
+	// query term's node count. (The wall-clock deadline arrives through
+	// the RunCtx context instead.)
+	Limits guard.Limits
 }
 
 // DefaultMaxChecks bounds runaway rule systems.
@@ -265,6 +290,9 @@ type Engine struct {
 	Opts  Options
 	Trace []TraceEntry
 	fresh int
+
+	ctx      context.Context // cancellation context of the current run
+	lastGood *term.Term      // term after the last committed application
 }
 
 // New creates an engine.
@@ -275,10 +303,28 @@ func New(rs *rules.RuleSet, ext *Externals, cat *catalog.Catalog, opts Options) 
 	return &Engine{RS: rs, Ext: ext, Cat: cat, Opts: opts}
 }
 
-// Run rewrites q under the rule set's sequence meta-rule. If no sequence
-// is declared, all blocks run once in declaration order; if no blocks are
-// declared, all rules form one implicit saturating block.
+// Run rewrites q under the rule set's sequence meta-rule with no
+// cancellation (see RunCtx).
 func (e *Engine) Run(q *term.Term) (*term.Term, *Stats, error) {
+	return e.RunCtx(context.Background(), q)
+}
+
+// LastGood returns the query term as of the last committed rule
+// application of the most recent run — the best safe plan to fall back to
+// when the run failed partway (nil before any run).
+func (e *Engine) LastGood() *term.Term { return e.lastGood }
+
+// RunCtx rewrites q under the rule set's sequence meta-rule. If no
+// sequence is declared, all blocks run once in declaration order; if no
+// blocks are declared, all rules form one implicit saturating block.
+// Cancellation is checked on every condition check; the Options.Limits
+// budget is enforced on every application.
+func (e *Engine) RunCtx(ctx context.Context, q *term.Term) (*term.Term, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.lastGood = q
 	st := &Stats{}
 	seq := e.RS.Sequence
 	if seq == nil {
@@ -307,10 +353,20 @@ func (e *Engine) Run(q *term.Term) (*term.Term, *Stats, error) {
 // RunBlock applies a single named block to q (used by tests and the §7
 // per-phase experiments).
 func (e *Engine) RunBlock(q *term.Term, blockName string) (*term.Term, *Stats, error) {
+	return e.RunBlockCtx(context.Background(), q, blockName)
+}
+
+// RunBlockCtx is RunBlock under a cancellation context.
+func (e *Engine) RunBlockCtx(ctx context.Context, q *term.Term, blockName string) (*term.Term, *Stats, error) {
 	b, ok := e.RS.Blocks[blockName]
 	if !ok {
 		return nil, nil, fmt.Errorf("rewrite: unknown block %q", blockName)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.lastGood = q
 	st := &Stats{}
 	out, err := e.runBlock(q, b, st)
 	return out, st, err
@@ -352,6 +408,7 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 			}
 			if ok {
 				q = nq
+				e.lastGood = q
 				applied = true
 				break // restart from the first rule of the block
 			}
@@ -380,15 +437,19 @@ func (e *Engine) applyOnce(q *term.Term, rule *rules.Rule, blockName string, bud
 			return *budget > 0
 		}
 		b := term.NewBindings()
-		ctx := &Ctx{Cat: e.Cat, Root: q, Site: path.Clone(), Bind: b, engine: e}
+		ctx := &Ctx{Cat: e.Cat, Root: q, Site: path.Clone(), Bind: b, Rule: rule.Name, engine: e}
 		matched := term.Match(rule.LHS, sub, b, func() bool {
 			// One condition check: the LHS matched and the constraints
 			// are evaluated (§4.2 budget semantics).
 			*budget--
 			st.ConditionChecks++
+			if err := guard.CheckCtx(e.ctx); err != nil {
+				applyErr = err
+				return true // stop the search; error reported below
+			}
 			if st.ConditionChecks > e.Opts.MaxChecks {
 				applyErr = fmt.Errorf("rewrite: rule system exceeded %d condition checks (non-terminating rule set?)", e.Opts.MaxChecks)
-				return true // stop the search; error reported below
+				return true
 			}
 			ok, err := e.checkConstraints(ctx, rule)
 			if err != nil {
@@ -430,7 +491,20 @@ func (e *Engine) applyOnce(q *term.Term, rule *rules.Rule, blockName string, bud
 			// idempotent semantic rules from looping).
 			return true
 		}
+		if max := e.Opts.Limits.MaxSteps; max > 0 && st.Applications >= max {
+			applyErr = fmt.Errorf("rewrite: %w: %d rule applications reached (cap %d)",
+				guard.ErrStepBudget, st.Applications, max)
+			return false
+		}
 		result = term.ReplaceAt(q, path, rhs)
+		if max := e.Opts.Limits.MaxTermSize; max > 0 {
+			if sz := termSize(result); sz > max {
+				applyErr = fmt.Errorf("rewrite: rule %s: %w: term grew to %d nodes (cap %d)",
+					rule.Name, guard.ErrTermSize, sz, max)
+				result = nil
+				return false
+			}
+		}
 		found = true
 		st.Applications++
 		if e.Opts.CollectTrace {
@@ -449,7 +523,7 @@ func (e *Engine) applyOnce(q *term.Term, rule *rules.Rule, blockName string, bud
 
 func (e *Engine) checkConstraints(ctx *Ctx, rule *rules.Rule) (bool, error) {
 	for _, c := range rule.Constraints {
-		ok, err := e.evalConstraint(ctx, c)
+		ok, err := e.evalConstraintSafe(ctx, c)
 		if err != nil {
 			return false, err
 		}
@@ -460,19 +534,54 @@ func (e *Engine) checkConstraints(ctx *Ctx, rule *rules.Rule) (bool, error) {
 	return true, nil
 }
 
-func (e *Engine) runMethod(ctx *Ctx, call *term.Term) (bool, error) {
+// evalConstraintSafe isolates a panicking constraint (or any external it
+// reaches, e.g. an ADT function folded by EvalGround) as a typed
+// ExternalError carrying the rule, external name and match site.
+func (e *Engine) evalConstraintSafe(ctx *Ctx, c *term.Term) (ok bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+			err = guard.NewExternalPanic(guard.ExtConstraint, ctx.Rule, externalName(c), sitePath(ctx.Site), p)
+		}
+	}()
+	return e.evalConstraint(ctx, c)
+}
+
+func (e *Engine) runMethod(ctx *Ctx, call *term.Term) (ok bool, err error) {
 	if call.Kind != term.Fun {
 		return false, fmt.Errorf("method %s is not a call", call)
 	}
-	fn, ok := e.Ext.methods[strings.ToUpper(call.Functor)]
-	if !ok {
+	fn, found := e.Ext.methods[strings.ToUpper(call.Functor)]
+	if !found {
 		return false, fmt.Errorf("unknown method %q", call.Functor)
 	}
 	args := make([]*term.Term, len(call.Args))
 	for i, a := range call.Args {
 		args[i] = e.instArg(ctx, a)
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+			err = guard.NewExternalPanic(guard.ExtMethod, ctx.Rule, call.Functor, sitePath(ctx.Site), p)
+		}
+	}()
 	return fn(ctx, args)
+}
+
+// externalName labels a constraint term for error reporting.
+func externalName(c *term.Term) string {
+	if c.Kind == term.Fun {
+		return c.Functor
+	}
+	return c.String()
+}
+
+// sitePath renders a match-site path for error reporting.
+func sitePath(p term.Path) string { return fmt.Sprint([]int(p)) }
+
+// termSize counts the nodes of a term (the MaxTermSize currency).
+func termSize(t *term.Term) int {
+	return term.Count(t, func(*term.Term) bool { return true })
 }
 
 // instArg instantiates a constraint/method argument: bound variables are
@@ -539,7 +648,7 @@ func (e *Engine) instantiate(ctx *Ctx, rhs *term.Term) (*term.Term, error) {
 			return s
 		}
 		if fn, ok := e.Ext.builtins[strings.ToUpper(s.Functor)]; ok {
-			r, err := fn(ctx, s.Args)
+			r, err := e.callBuiltin(ctx, s, fn)
 			if err != nil {
 				evalErr = err
 				return s
@@ -552,4 +661,16 @@ func (e *Engine) instantiate(ctx *Ctx, rhs *term.Term) (*term.Term, error) {
 		return nil, evalErr
 	}
 	return out, nil
+}
+
+// callBuiltin isolates a panicking right-hand-side builtin as a typed
+// ExternalError.
+func (e *Engine) callBuiltin(ctx *Ctx, s *term.Term, fn BuiltinFn) (t *term.Term, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			t = nil
+			err = guard.NewExternalPanic(guard.ExtBuiltin, ctx.Rule, s.Functor, sitePath(ctx.Site), p)
+		}
+	}()
+	return fn(ctx, s.Args)
 }

@@ -24,6 +24,7 @@ import (
 	"lera/internal/catalog"
 	"lera/internal/core"
 	"lera/internal/engine"
+	"lera/internal/guard"
 	lalg "lera/internal/lera"
 	"lera/internal/rewrite"
 	"lera/internal/term"
@@ -67,6 +68,30 @@ type Stats = rewrite.Stats
 
 // TraceEntry records one rule application (see Rewriter.Explain).
 type TraceEntry = rewrite.TraceEntry
+
+// Limits is the per-query guard budget: wall-clock timeout (applied to
+// the rewrite and execute phases separately), rule-application cap, term
+// growth cap, materialized-row cap and fixpoint-iteration cap. The zero
+// value means no limits. Set Session.Limits to enforce it; see
+// docs/GUARDRAILS.md.
+type Limits = guard.Limits
+
+// ExternalError wraps a panic raised by an extension hook — a rule
+// constraint, method, builtin or ADT function — carrying the rule name,
+// external name and match site. Retrieve it with errors.As.
+type ExternalError = guard.ExternalError
+
+// Guard sentinel errors, distinguishable with errors.Is.
+var (
+	// ErrDeadline marks a Limits.Timeout expiry (rewrite or execution).
+	ErrDeadline = guard.ErrDeadline
+	// ErrStepBudget marks the Limits.MaxSteps rule-application cap.
+	ErrStepBudget = guard.ErrStepBudget
+	// ErrTermSize marks the Limits.MaxTermSize term-growth cap.
+	ErrTermSize = guard.ErrTermSize
+	// ErrRowBudget marks the Limits.MaxRows materialization cap.
+	ErrRowBudget = guard.ErrRowBudget
+)
 
 // NewSession creates a session with an empty catalog and database.
 func NewSession(opts ...Option) *Session { return core.NewSession(opts...) }
