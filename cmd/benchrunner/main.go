@@ -4,13 +4,20 @@
 // join pairs, tuples emitted, predicate evaluations, fixpoint iterations)
 // plus wall-clock time.
 //
-// Usage: benchrunner [-e 1,4,7]   (default: all experiments)
+// Usage: benchrunner [-e 1,4,7] [-json]   (default: all experiments)
+//
+// With -json the tables are emitted as one JSON document that also
+// records provenance — the git commit the binary was built from and a
+// fingerprint of the parsed built-in rule base — so archived runs can be
+// traced to the exact rules that produced them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -21,9 +28,28 @@ import (
 	"lera/internal/value"
 )
 
+// experiment is one claim's table, captured for -json output.
+type experiment struct {
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// recorder collects experiment tables; in text mode it also prints them
+// as before.
+type recorder struct {
+	jsonMode    bool
+	experiments []*experiment
+}
+
+var rec recorder
+
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
+	asJSON := flag.Bool("json", false, "emit results as JSON with commit and rule-base provenance")
 	flag.Parse()
+	rec.jsonMode = *asJSON
 	want := map[int]bool{}
 	if *sel != "" {
 		for _, f := range strings.Split(*sel, ",") {
@@ -38,7 +64,9 @@ func main() {
 	run := func(n int, fn func()) {
 		if len(want) == 0 || want[n] {
 			fn()
-			fmt.Println()
+			if !rec.jsonMode {
+				fmt.Println()
+			}
 		}
 	}
 	run(1, e1SearchMerging)
@@ -51,6 +79,47 @@ func main() {
 	run(8, e8RepeatedBlocks)
 	run(10, e10Planning)
 	run(11, e11Guardrails)
+	if rec.jsonMode {
+		emitJSON()
+	}
+}
+
+// emitJSON writes the collected tables with provenance.
+func emitJSON() {
+	out := struct {
+		Commit          string        `json:"commit"`
+		RuleFingerprint string        `json:"ruleFingerprint"`
+		Experiments     []*experiment `json:"experiments"`
+	}{
+		Commit:          gitCommit(),
+		RuleFingerprint: ruleFingerprint(),
+		Experiments:     rec.experiments,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+// gitCommit resolves the repository HEAD, "unknown" outside a checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// ruleFingerprint hashes the parsed built-in rule base, so two runs are
+// comparable only when they optimized with the same rules.
+func ruleFingerprint() string {
+	rw, err := lera.NewRewriter(lera.NewCatalog())
+	if err != nil {
+		return "unavailable: " + err.Error()
+	}
+	return rw.RS.Fingerprint()
 }
 
 // --- workload builders ---
@@ -146,12 +215,35 @@ func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Dur
 }
 
 func header(title, claim, cols string) {
+	e := &experiment{Title: title, Claim: claim}
+	for _, c := range strings.Split(cols, "|") {
+		e.Columns = append(e.Columns, strings.TrimSpace(c))
+	}
+	rec.experiments = append(rec.experiments, e)
+	if rec.jsonMode {
+		fmt.Fprintln(os.Stderr, "running: "+title)
+		return
+	}
 	fmt.Println("### " + title)
 	fmt.Println()
 	fmt.Println("Claim (paper): " + claim)
 	fmt.Println()
 	fmt.Println(cols)
 	fmt.Println(strings.Repeat("-", 3) + strings.Repeat("|---", strings.Count(cols, "|")))
+}
+
+// row emits one table row: printed in text mode, captured in JSON mode.
+func row(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	e := rec.experiments[len(rec.experiments)-1]
+	cells := strings.Split(line, " | ")
+	for i, c := range cells {
+		cells[i] = strings.TrimSpace(c)
+	}
+	e.Rows = append(e.Rows, cells)
+	if !rec.jsonMode {
+		fmt.Println(line)
+	}
 }
 
 // --- E1: §5.1 merging reduces the size of a LERA program ---
@@ -185,7 +277,7 @@ func e1SearchMerging() {
 		off := build()
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
-		fmt.Printf("%d | %d | %d | %d | %d | %d | %d\n",
+		row("%d | %d | %d | %d | %d | %d | %d",
 			k, opsBefore, opsAfter, searchesBefore, searchesAfter, cOff.Emitted, cOn.Emitted)
 	}
 }
@@ -229,7 +321,7 @@ func e2PushUnion() {
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
 		ratio := float64(cOff.Emitted) / float64(maxInt(cOn.Emitted, 1))
-		fmt.Printf("%.3f | %d | %d | %d | %.1fx\n", sigma, len(resOn.Rows), cOff.Emitted, cOn.Emitted, ratio)
+		row("%.3f | %d | %d | %d | %.1fx", sigma, len(resOn.Rows), cOff.Emitted, cOn.Emitted, ratio)
 	}
 }
 
@@ -264,7 +356,7 @@ CREATE VIEW NESTED (G, Vs) AS SELECT G, MakeSet(V) FROM R GROUP BY G;
 		off := build()
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
-		fmt.Printf("%d | %d | %d | %d | %d | %d\n",
+		row("%d | %d | %d | %d | %d | %d",
 			groups, fanout, cOff.Emitted, cOn.Emitted, cOff.PredEvals, cOn.PredEvals)
 	}
 }
@@ -300,7 +392,7 @@ func e4Alexander() {
 				rawPairs = strconv.Itoa(cOff.JoinPairs)
 				rawTime = round(dOff)
 			}
-			fmt.Printf("%s | %d | %d | %s | %d | %s | %d | %s | %s\n",
+			row("%s | %d | %d | %s | %d | %s | %d | %s | %s",
 				sh.name, n, len(resOn.Rows), rawEmitted, cOn.Emitted,
 				rawPairs, cOn.JoinPairs, rawTime, round(dOn))
 		}
@@ -324,7 +416,7 @@ func e5Inconsistency() {
 		off := filmsLike(n)
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
-		fmt.Printf("%d | %d | %d | %d | %d\n", n, cOff.Scanned, cOn.Scanned, cOff.PredEvals, cOn.PredEvals)
+		row("%d | %d | %d | %d | %d", n, cOff.Scanned, cOn.Scanned, cOff.PredEvals, cOn.PredEvals)
 	}
 }
 
@@ -348,7 +440,7 @@ func e6Simplify() {
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
 		ratio := float64(cOff.PredEvals) / float64(maxInt(cOn.PredEvals, 1))
-		fmt.Printf("%d | %d | %d | %d | %.2fx\n", k, n, cOff.PredEvals, cOn.PredEvals, ratio)
+		row("%d | %d | %d | %d | %.2fx", k, n, cOff.PredEvals, cOn.PredEvals, ratio)
 	}
 }
 
@@ -387,7 +479,7 @@ func e7BlockLimits() {
 			if limit == rules.Infinite {
 				lim = "inf"
 			}
-			fmt.Printf("%s | %s | %d | %d | %d\n", tc.name, lim, checks, c.Emitted, c.JoinPairs)
+			row("%s | %s | %d | %d | %d", tc.name, lim, checks, c.Emitted, c.JoinPairs)
 		}
 	}
 }
@@ -410,7 +502,7 @@ func e8RepeatedBlocks() {
 	for _, sq := range seqs {
 		s := edgeGraph(chain(n), lera.WithSequence(sq.seq))
 		res, c, _ := measure(s, q)
-		fmt.Printf("%s | %d | %d | %d\n", sq.name, operatorCount(res.Rewritten), c.Emitted, c.JoinPairs)
+		row("%s | %d | %d | %d", sq.name, operatorCount(res.Rewritten), c.Emitted, c.JoinPairs)
 	}
 }
 
@@ -446,7 +538,7 @@ func e10Planning() {
 		planned := build(lera.WithPlanning())
 		_, cPlan, _ := measure(planned, q)
 		ratio := float64(cBase.JoinPairs) / float64(maxInt(cPlan.JoinPairs, 1))
-		fmt.Printf("%d | %d | %d | %.1fx\n", n, cBase.JoinPairs, cPlan.JoinPairs, ratio)
+		row("%d | %d | %d | %.1fx", n, cBase.JoinPairs, cPlan.JoinPairs, ratio)
 	}
 }
 
@@ -486,7 +578,7 @@ block(spinb, {spin}, inf);
 				reason = firstWords(res.Stats.DegradationReason, 4)
 			}
 		}
-		fmt.Printf("%d | %v | %s | %d | %d | %s\n", cap, degraded, reason, checks, len(res.Rows), round(d))
+		row("%d | %v | %s | %d | %d | %s", cap, degraded, reason, checks, len(res.Rows), round(d))
 	}
 }
 

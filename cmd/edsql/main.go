@@ -7,6 +7,7 @@
 //	\counters        show and reset engine work counters
 //	\films           load the paper's Figure 2-5 example database
 //	\tables          list relations and views
+//	\check           verify the rule base (lint + differential testing)
 //	\help            this text
 //
 // Guardrail flags (see docs/GUARDRAILS.md):
@@ -21,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -103,12 +105,42 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 	case "\\tables":
 		fmt.Println("relations:", strings.Join(s.Cat.RelationNames(), ", "))
 		fmt.Println("views:    ", strings.Join(s.Cat.ViewNames(), ", "))
+	case "\\check":
+		check(s)
 	case "\\help":
-		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\counters \\films \\tables")
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\counters \\films \\tables \\check")
 	default:
 		fmt.Println("unknown meta-command (try \\help)")
 	}
 	return true
+}
+
+// check verifies the session's rule base: the static lint plus the
+// differential semantic tester, both bounded by the session Limits — so a
+// shell started with --timeout applies that budget to every rewrite and
+// execution phase the verifier runs.
+func check(s *lera.Session) {
+	ds, err := s.CheckRules(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, d := range ds {
+		fmt.Println(d)
+	}
+	errs, warns := 0, 0
+	for _, d := range ds {
+		switch d.Severity {
+		case lera.SevError:
+			errs++
+		case lera.SevWarn:
+			warns++
+		}
+	}
+	fmt.Printf("rule base: %d finding(s) — %d error(s), %d warning(s)\n", len(ds), errs, warns)
+	if errs == 0 {
+		fmt.Println("ok: no error-level findings")
+	}
 }
 
 func run(s *lera.Session, showPlan bool, src string) {

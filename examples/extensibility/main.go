@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -13,21 +14,20 @@ import (
 	"lera/internal/value"
 )
 
+// The implementor's rules live in their own rule-language file, so the
+// rulecheck CLI can verify them exactly as shipped:
+//
+//	rulecheck --rules examples/extensibility/extension.rules
+//
+//go:embed extension.rules
+var extensionRules string
+
 func main() {
 	s := lera.NewSession(
 		lera.WithTrace(),
-		// Two implementor rules: OVERLAPS is symmetric (drop the mirror
-		// test), and an interval can never overlap the empty interval
-		// marker TUPLE(lo: 1, hi: 0).
-		lera.WithRules(`
-rule overlaps_symmetry:
-  ANDS(SET(w*, OVERLAPS(x, y), OVERLAPS(y, x)))
-  / DISTINCT(x, y)
-  --> ANDS(SET(w*, OVERLAPS(x, y))) / ;
-
-block(extension, {overlaps_symmetry}, inf);
-seq({typecheck, normalize, merge, push, fixpoint, merge, constraints, semantic, extension, simplify, merge}, 2);
-`),
+		// The implementor rule: OVERLAPS is symmetric, so the mirror test
+		// is redundant and dropped before execution.
+		lera.WithRules(extensionRules),
 	)
 
 	// Register the Interval methods in the ADT library. OVERLAPS is pure,

@@ -22,6 +22,7 @@ import (
 	"lera/internal/lopt"
 	"lera/internal/magic"
 	"lera/internal/rewrite"
+	"lera/internal/rulecheck"
 	"lera/internal/rules"
 	"lera/internal/semantic"
 	"lera/internal/term"
@@ -50,6 +51,7 @@ type config struct {
 	sequence      string
 	disableBlocks map[string]bool
 	blockLimits   map[string]int
+	ruleCheck     bool
 }
 
 // WithTrace records a rule-application trace for Explain.
@@ -100,6 +102,14 @@ func WithBlockLimit(name string, limit int) Option {
 	}
 }
 
+// WithRuleCheck runs the static rule-base verifier (internal/rulecheck)
+// over the assembled rule set at construction time: error-level findings
+// refuse the rule base, warnings are retained and available through
+// CheckDiagnostics. The paper's implementor adds rules without
+// recompiling the engine; this is the safety net that keeps a buggy rule
+// from silently corrupting every query it matches.
+func WithRuleCheck() Option { return func(c *config) { c.ruleCheck = true } }
+
 // Rewriter is the assembled query rewriter.
 type Rewriter struct {
 	Cat    *catalog.Catalog
@@ -107,6 +117,9 @@ type Rewriter struct {
 	Ext    *rewrite.Externals
 	cfg    config
 	engine *rewrite.Engine
+
+	// checkDiags are the non-fatal findings of the WithRuleCheck lint.
+	checkDiags []rulecheck.Diagnostic
 }
 
 // New builds a rewriter over a catalog.
@@ -179,7 +192,37 @@ func New(cat *catalog.Catalog, opts ...Option) (*Rewriter, error) {
 	}
 
 	rw := &Rewriter{Cat: cat, RS: rs, Ext: ext, cfg: cfg}
+	if cfg.ruleCheck {
+		diags := rulecheck.Lint(rs, ext, cat)
+		var errs []string
+		for _, d := range diags {
+			if d.Severity == rulecheck.SevError {
+				errs = append(errs, d.String())
+			} else {
+				rw.checkDiags = append(rw.checkDiags, d)
+			}
+		}
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("core: rule base failed verification:\n  %s", strings.Join(errs, "\n  "))
+		}
+	}
 	return rw, nil
+}
+
+// CheckDiagnostics returns the non-fatal findings recorded by the
+// WithRuleCheck construction-time lint (nil unless the option was given).
+func (r *Rewriter) CheckDiagnostics() []rulecheck.Diagnostic { return r.checkDiags }
+
+// CheckRules verifies the assembled rule base: the full static lint plus
+// differential semantic testing of every rule against a deterministic
+// generated database, all bounded by lim (the wall-clock budget applies
+// to each rewrite and each execution phase separately, exactly as a
+// session query does).
+func (r *Rewriter) CheckRules(ctx context.Context, lim guard.Limits) ([]rulecheck.Diagnostic, error) {
+	ds := rulecheck.Lint(r.RS, r.Ext, r.Cat)
+	diff, err := rulecheck.Diff(ctx, r.RS, r.Ext, r.Cat, rulecheck.DiffOptions{Limits: lim, EndToEnd: true})
+	ds = append(ds, diff...)
+	return ds, err
 }
 
 // complexity scores a query for the dynamic-limit policy (§7): operator

@@ -11,6 +11,7 @@ import (
 	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/rewrite"
+	"lera/internal/rulecheck"
 	"lera/internal/term"
 	"lera/internal/translate"
 	"lera/internal/value"
@@ -262,6 +263,19 @@ func (s *Session) rewriteGuarded(ctx context.Context, q *term.Term) (*term.Term,
 // subset has no object-creation statement; examples and tools load
 // objects through this call).
 func (s *Session) SetObject(oid int64, v value.Value) { s.DB.SetObject(oid, v) }
+
+// CheckRules verifies the session's assembled rule base — static lint
+// plus differential semantic testing — under the session's guard Limits,
+// so a `--timeout` given to the shell bounds the verifier the same way it
+// bounds queries. The returned diagnostics are ordered deterministically;
+// the error return is reserved for a broken rewriter or cancellation.
+func (s *Session) CheckRules(ctx context.Context) ([]rulecheck.Diagnostic, error) {
+	rw, err := s.Rewriter()
+	if err != nil {
+		return nil, err
+	}
+	return rw.CheckRules(ctx, s.Limits)
+}
 
 // FormatResult renders a query result as an aligned text table.
 func FormatResult(r *Result) string {

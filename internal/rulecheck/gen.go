@@ -1,0 +1,390 @@
+package rulecheck
+
+import (
+	"fmt"
+
+	"lera/internal/catalog"
+	"lera/internal/engine"
+	"lera/internal/guard"
+	"lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/types"
+	"lera/internal/value"
+)
+
+// prng is a tiny deterministic generator (splitmix64). Differential
+// testing must be reproducible, so no math/rand global state and no
+// wall-clock seeding.
+type prng struct{ state uint64 }
+
+func newPrng(seed uint64) *prng { return &prng{state: seed*2862933555777941757 + 3037000493} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *prng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.next() % uint64(n))
+}
+
+// Instance is a generated test database: rows per relation plus the
+// object store backing any object-typed columns.
+type Instance struct {
+	Rows    map[string][][]value.Value
+	Objects map[int64]value.Value
+}
+
+// charPool is the vocabulary of generated CHAR values; small on purpose
+// so that equality predicates are selective but not empty.
+var charPool = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+
+// Generate builds a small deterministic database instance for every base
+// relation of the catalog. rowsPer is the target rows per relation;
+// duplicate rows are retried a few times so that the set-semantics engine
+// sees distinct tuples.
+func Generate(cat *catalog.Catalog, seed uint64, rowsPer int) *Instance {
+	inst := &Instance{Rows: map[string][][]value.Value{}, Objects: map[int64]value.Value{}}
+	rng := newPrng(seed)
+	oid := int64(1000)
+	for _, name := range cat.RelationNames() {
+		rel, _ := cat.Relation(name)
+		seen := map[string]bool{}
+		var rows [][]value.Value
+		for i := 0; i < rowsPer; i++ {
+			var row []value.Value
+			for attempt := 0; attempt < 4; attempt++ {
+				row = row[:0]
+				for _, col := range rel.Columns {
+					row = append(row, genValue(col.Type, rng, 0, inst, &oid))
+				}
+				if !seen[rowsKey(row)] {
+					break
+				}
+			}
+			if seen[rowsKey(row)] {
+				continue
+			}
+			seen[rowsKey(row)] = true
+			rows = append(rows, append([]value.Value(nil), row...))
+		}
+		inst.Rows[name] = rows
+	}
+	return inst
+}
+
+func rowsKey(row []value.Value) string {
+	s := ""
+	for _, v := range row {
+		s += v.Key() + "\x1f"
+	}
+	return s
+}
+
+// genValue generates one deterministic value of the given type. Object
+// types allocate an OID and park the tuple in the instance's object
+// store, mirroring how the session loads the Figure 2 database.
+func genValue(t *types.Type, rng *prng, depth int, inst *Instance, oid *int64) value.Value {
+	if t == nil || depth > 3 {
+		return value.Int(int64(rng.intn(10)))
+	}
+	switch t.Kind {
+	case types.Basic:
+		switch t.Name {
+		case "REAL":
+			// Quarter steps: exact in binary, so Key() round-trips.
+			return value.Real(float64(rng.intn(40)) / 4)
+		case "CHAR":
+			return value.String(charPool[rng.intn(len(charPool))])
+		case "BOOLEAN":
+			return value.Bool(rng.intn(2) == 1)
+		default: // INT, NUMERIC
+			return value.Int(int64(rng.intn(10)))
+		}
+	case types.Enum:
+		if len(t.EnumVals) == 0 {
+			return value.String("?")
+		}
+		return value.String(t.EnumVals[rng.intn(len(t.EnumVals))])
+	case types.Collection:
+		n := rng.intn(3)
+		elems := make([]value.Value, 0, n)
+		for i := 0; i < n; i++ {
+			elems = append(elems, genValue(t.Elem, rng, depth+1, inst, oid))
+		}
+		switch t.CollKind {
+		case value.KBag:
+			return value.NewBag(elems...)
+		case value.KList:
+			return value.NewList(elems...)
+		case value.KArray:
+			return value.NewArray(elems...)
+		default:
+			return value.NewSet(elems...)
+		}
+	case types.Tuple:
+		fields := t.AllFields()
+		names := make([]string, len(fields))
+		vals := make([]value.Value, len(fields))
+		for i, f := range fields {
+			names[i] = f.Name
+			vals[i] = genValue(f.Type, rng, depth+1, inst, oid)
+		}
+		tup := value.NewTuple(names, vals)
+		if t.IsObject {
+			id := *oid
+			*oid++
+			inst.Objects[id] = tup
+			return value.OID(id)
+		}
+		return tup
+	}
+	return value.Int(int64(rng.intn(10)))
+}
+
+// NewDB loads a generated instance into a fresh engine over the catalog,
+// with the guard limits applied to every evaluation.
+func NewDB(cat *catalog.Catalog, inst *Instance, lim guard.Limits) (*engine.DB, error) {
+	db := engine.New(cat)
+	db.Limits = lim
+	for _, name := range cat.RelationNames() {
+		if err := db.Load(name, inst.Rows[name]); err != nil {
+			return nil, fmt.Errorf("rulecheck: loading %s: %w", name, err)
+		}
+	}
+	for id, obj := range inst.Objects {
+		db.SetObject(id, obj)
+	}
+	return db, nil
+}
+
+// Query is one corpus entry: a named executable LERA term.
+type Query struct {
+	Name string
+	Term *term.Term
+}
+
+// Corpus synthesizes a deterministic set of LERA terms over the catalog's
+// base relations, shaped so that every shipped rule family has something
+// to match: plain and stacked SEARCHes, FILTER/JOIN forms awaiting
+// normalisation, selections over UNIONN/DIFF/INTERN/NEST, CALLs over
+// object and ADT functions, inconsistent and foldable predicates, MEMBER
+// tests on enum collections and a recursive FIX query for the Alexander
+// reduction. Constants are drawn from the generated instance so equality
+// predicates are selective but non-empty.
+func Corpus(cat *catalog.Catalog, inst *Instance, seed uint64) []Query {
+	var out []Query
+	for _, name := range cat.RelationNames() {
+		rel, _ := cat.Relation(name)
+		out = append(out, relationCorpus(cat, name, rel, inst)...)
+	}
+	return out
+}
+
+func relationCorpus(cat *catalog.Catalog, name string, rel *catalog.Relation, inst *Instance) []Query {
+	n := len(rel.Columns)
+	if n == 0 {
+		return nil
+	}
+	R := lera.Rel(name)
+	projAll := make([]*term.Term, n)
+	for j := 1; j <= n; j++ {
+		projAll[j-1] = lera.Attr(1, j)
+	}
+
+	// Pick the first scalar (basic or enum) column as the predicate
+	// target, with one present and one absent constant.
+	scalar := 0
+	var present, absent *term.Term
+	for j, col := range rel.Columns {
+		if col.Type == nil || (col.Type.Kind != types.Basic && col.Type.Kind != types.Enum) {
+			continue
+		}
+		scalar = j + 1
+		present, absent = constantsFor(col.Type, inst.Rows[name], j)
+		break
+	}
+
+	q := func(qname string, t *term.Term) Query {
+		return Query{Name: name + "/" + qname, Term: t}
+	}
+	var out []Query
+
+	// Identity projection: the ISIDPROJ / search-elimination family.
+	out = append(out, q("identity", lera.Search([]*term.Term{R}, lera.TrueQual(), projAll)))
+
+	if scalar > 0 {
+		A := lera.Attr(1, scalar)
+		eq := lera.Ands(lera.Cmp("=", A, present))
+		neq := lera.Ands(lera.Cmp("<>", A, absent))
+		selEq := lera.Search([]*term.Term{R}, eq, projAll)
+
+		out = append(out,
+			q("select_eq", selEq),
+			// FILTER with a raw binary AND: normalize + filter_to_search.
+			q("filter_and", lera.Filter(R, term.F("AND",
+				lera.Cmp("<>", A, absent), lera.Cmp("=", A, present)))),
+			// SEARCH over SEARCH: the Figure 7 merge family.
+			q("stacked", lera.Search([]*term.Term{selEq},
+				lera.Ands(lera.Cmp("<>", lera.Attr(1, scalar), absent)),
+				[]*term.Term{lera.Attr(1, 1)})),
+			// Selections over the set operators: the Figure 8 push family.
+			q("union_single", lera.Search([]*term.Term{lera.Union(R)}, lera.TrueQual(), projAll)),
+			q("push_union", lera.Search([]*term.Term{lera.Union(R, selEq)}, neq, projAll)),
+			q("push_diff", lera.Search([]*term.Term{lera.Diff(R, selEq)}, neq, projAll)),
+			q("push_inter", lera.Search([]*term.Term{lera.Inter(R, selEq)}, neq, projAll)),
+			// Binary operators awaiting SEARCH normalisation.
+			q("join_op", lera.Join(R, R, lera.Ands(lera.Cmp("=", lera.Attr(1, scalar), lera.Attr(2, scalar))))),
+			q("join_search", lera.Search([]*term.Term{R, R},
+				lera.Ands(lera.Cmp("=", lera.Attr(1, scalar), lera.Attr(2, scalar))),
+				[]*term.Term{lera.Attr(1, scalar), lera.Attr(2, scalar)})),
+			// Predicate simplification: foldable and inconsistent quals.
+			q("const_fold", lera.Search([]*term.Term{R},
+				lera.Ands(lera.Cmp("<", term.F("+", term.Num(1), term.Num(2)), term.Num(7)), lera.Cmp("<>", A, absent)),
+				projAll)),
+			q("inconsistent", lera.Search([]*term.Term{R},
+				lera.Ands(lera.Cmp(">", A, present), lera.Cmp("<=", A, present)),
+				projAll)),
+			// Equality chains: the §6 transitivity/substitution family.
+			q("eq_chain", lera.Search([]*term.Term{R, R},
+				lera.Ands(lera.Cmp("=", lera.Attr(1, scalar), lera.Attr(2, scalar)),
+					lera.Cmp("=", lera.Attr(2, scalar), present)),
+				[]*term.Term{lera.Attr(1, 1)})),
+		)
+
+		// Selection over NEST on the last column, qual on a non-nested
+		// scalar column: the push_nest / REFER family.
+		if n >= 2 && scalar < n {
+			nest := lera.Nest(R, []int{n}, "NZ")
+			nestProj := make([]*term.Term, n)
+			for j := 1; j <= n; j++ {
+				nestProj[j-1] = lera.Attr(1, j)
+			}
+			out = append(out, q("push_nest", lera.Search([]*term.Term{nest},
+				lera.Ands(lera.Cmp("<>", lera.Attr(1, scalar), absent)), nestProj)))
+		}
+	}
+
+	// CALL over an object/tuple column: the type-checking rule family.
+	for j, col := range rel.Columns {
+		t := col.Type
+		if t == nil || t.Kind != types.Tuple {
+			continue
+		}
+		for _, f := range t.AllFields() {
+			if f.Type == nil || f.Type.Kind != types.Basic && f.Type.Kind != types.Enum {
+				continue
+			}
+			out = append(out, q("call_field_"+f.Name,
+				lera.Search([]*term.Term{R}, lera.TrueQual(),
+					[]*term.Term{lera.Call(f.Name, lera.Attr(1, j+1))})))
+			break
+		}
+		break
+	}
+
+	// CALL of a pure ADT function over an INT column: call_adt + EVALUATE.
+	for j, col := range rel.Columns {
+		if col.Type == nil || col.Type.Kind != types.Basic || col.Type.Name != "INT" && col.Type.Name != "NUMERIC" {
+			continue
+		}
+		out = append(out, q("call_adt",
+			lera.Search([]*term.Term{R},
+				lera.Ands(lera.Cmp(">=", lera.Call("+", lera.Attr(1, j+1), term.Num(0)), term.Num(-1))),
+				projAll)))
+		break
+	}
+
+	// MEMBER of a value outside the enum: the §6.1 inconsistency family.
+	for j, col := range rel.Columns {
+		t := col.Type
+		if t == nil || t.Kind != types.Collection || t.Elem == nil || t.Elem.Kind != types.Enum {
+			continue
+		}
+		out = append(out, q("member_enum",
+			lera.Search([]*term.Term{R},
+				lera.Ands(term.F("MEMBER", term.Str("\x00no-such-"+t.Elem.Name), lera.Attr(1, j+1))),
+				projAll)))
+		break
+	}
+
+	// Transitive closure over the first two same-kind numeric columns,
+	// wrapped in a selective SEARCH: the Alexander fixpoint family.
+	if j1, j2 := numericPair(rel); j1 > 0 {
+		fixName := "TCQ_" + name
+		base := lera.Search([]*term.Term{R}, lera.TrueQual(),
+			[]*term.Term{lera.Attr(1, j1), lera.Attr(1, j2)})
+		rec := lera.Search([]*term.Term{R, lera.Rel(fixName)},
+			lera.Ands(lera.Cmp("=", lera.Attr(1, j2), lera.Attr(2, 1))),
+			[]*term.Term{lera.Attr(1, j1), lera.Attr(2, 2)})
+		fix := lera.Fix(fixName, lera.Union(base, rec), []string{"SRC", "DST"})
+		var c *term.Term
+		if rows := inst.Rows[name]; len(rows) > 0 {
+			c = term.C(rows[0][j1-1])
+		} else {
+			c = term.Num(1)
+		}
+		out = append(out, q("fix_tc", lera.Search([]*term.Term{fix},
+			lera.Ands(lera.Cmp("=", lera.Attr(1, 1), c)),
+			[]*term.Term{lera.Attr(1, 1), lera.Attr(1, 2)})))
+	}
+	return out
+}
+
+// constantsFor picks a present constant (from row 0 of the data, so
+// equality selects something) and an absent constant (so inequality
+// keeps everything) for a scalar column.
+func constantsFor(t *types.Type, rows [][]value.Value, col int) (present, absent *term.Term) {
+	if len(rows) > 0 {
+		present = term.C(rows[0][col])
+	}
+	switch {
+	case t.Kind == types.Enum || t.Name == "CHAR":
+		if present == nil {
+			present = term.Str(charPool[0])
+		}
+		absent = term.Str("\x00absent")
+	case t.Name == "REAL":
+		if present == nil {
+			present = term.Flt(1)
+		}
+		absent = term.Flt(999983.5)
+	case t.Name == "BOOLEAN":
+		if present == nil {
+			present = term.TrueT()
+		}
+		absent = term.FalseT()
+	default:
+		if present == nil {
+			present = term.Num(1)
+		}
+		absent = term.Num(999983)
+	}
+	return present, absent
+}
+
+// numericPair returns the 1-based indices of the first two INT/NUMERIC
+// columns, or (0, 0).
+func numericPair(rel *catalog.Relation) (int, int) {
+	first := 0
+	for j, col := range rel.Columns {
+		if col.Type == nil || col.Type.Kind != types.Basic {
+			continue
+		}
+		if col.Type.Name != "INT" && col.Type.Name != "NUMERIC" {
+			continue
+		}
+		if first == 0 {
+			first = j + 1
+			continue
+		}
+		return first, j + 1
+	}
+	return 0, 0
+}

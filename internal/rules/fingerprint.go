@@ -1,0 +1,30 @@
+package rules
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a stable hex digest of the rule base: every rule in
+// declaration order rendered in the concrete syntax, every block with its
+// rule list and limit, and the sequence meta-rule. Two rule sets with
+// equal fingerprints drive the rewriter identically, so benchmark output
+// tagged with a fingerprint is attributable to an exact rule base.
+func (rs *RuleSet) Fingerprint() string {
+	var sb strings.Builder
+	for _, n := range rs.RuleOrder {
+		sb.WriteString(rs.Rules[n].String())
+		sb.WriteByte('\n')
+	}
+	for _, bn := range rs.BlockOrder {
+		b := rs.Blocks[bn]
+		fmt.Fprintf(&sb, "block %s {%s} %d\n", b.Name, strings.Join(b.Rules, ","), b.Limit)
+	}
+	if rs.Sequence != nil {
+		fmt.Fprintf(&sb, "seq {%s} %d\n", strings.Join(rs.Sequence.Blocks, ","), rs.Sequence.Limit)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}

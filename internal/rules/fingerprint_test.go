@@ -1,0 +1,57 @@
+package rules
+
+import "testing"
+
+const fpSrc = `
+rule one: FILTER(r, q) / ISTRUEQ(q) --> r / ;
+rule two: UNIONN(SET(x)) / --> x / ;
+block(b1, {one, two}, 10);
+seq({b1}, 2);
+`
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := MustParse(fpSrc).Fingerprint()
+	b := MustParse(fpSrc).Fingerprint()
+	if a != b {
+		t.Fatalf("same source, different fingerprints: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint is not a sha-256 hex digest: %q", a)
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := MustParse(fpSrc)
+	variants := []string{
+		// changed RHS
+		"rule one: FILTER(r, q) / ISTRUEQ(q) --> FILTER(r, q) / ;\nrule two: UNIONN(SET(x)) / --> x / ;\nblock(b1, {one, two}, 10);\nseq({b1}, 2);",
+		// changed block limit
+		"rule one: FILTER(r, q) / ISTRUEQ(q) --> r / ;\nrule two: UNIONN(SET(x)) / --> x / ;\nblock(b1, {one, two}, 11);\nseq({b1}, 2);",
+		// changed sequence rounds
+		"rule one: FILTER(r, q) / ISTRUEQ(q) --> r / ;\nrule two: UNIONN(SET(x)) / --> x / ;\nblock(b1, {one, two}, 10);\nseq({b1}, 3);",
+	}
+	for i, src := range variants {
+		if MustParse(src).Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d has the same fingerprint as the base rule set", i)
+		}
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	rs := MustParse(fpSrc)
+	one := rs.Rules["one"]
+	if one.Line != 2 || one.Col != 1 {
+		t.Errorf("rule one position = %d:%d, want 2:1", one.Line, one.Col)
+	}
+	two := rs.Rules["two"]
+	if two.Line != 3 {
+		t.Errorf("rule two line = %d, want 3", two.Line)
+	}
+	b := rs.Blocks["b1"]
+	if b.Line != 4 || b.Col != 1 {
+		t.Errorf("block b1 position = %d:%d, want 4:1", b.Line, b.Col)
+	}
+	if rs.Sequence.Line != 5 {
+		t.Errorf("seq line = %d, want 5", rs.Sequence.Line)
+	}
+}

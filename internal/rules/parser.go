@@ -18,6 +18,10 @@ type Rule struct {
 	Constraints []*term.Term
 	RHS         *term.Term
 	Methods     []*term.Term
+	// Line and Col locate the "rule" keyword in the source the rule was
+	// parsed from (1-based; zero for rules built programmatically), so
+	// diagnostics can point at the offending declaration.
+	Line, Col int
 }
 
 // Decreasing reports whether the rule's right-hand side has strictly fewer
@@ -57,6 +61,9 @@ type Block struct {
 	Name  string
 	Rules []string
 	Limit int // Infinite or a non-negative budget
+	// Line and Col locate the "block" keyword in the source (1-based;
+	// zero for blocks built programmatically).
+	Line, Col int
 }
 
 // Seq is the meta-rule forcing blocks to run in order, at most Limit times
@@ -64,6 +71,9 @@ type Block struct {
 type Seq struct {
 	Blocks []string
 	Limit  int
+	// Line and Col locate the "seq" keyword in the source (1-based; zero
+	// when built programmatically).
+	Line, Col int
 }
 
 // RuleSet is the result of parsing a rule program: rules, blocks and the
@@ -273,7 +283,7 @@ func (p *parser) parseName(what string) (string, error) {
 
 // parseRule parses: rule <name>: <lhs> [/ constraints] --> <rhs> [/ methods] ;
 func (p *parser) parseRule() (*Rule, error) {
-	p.advance() // 'rule'
+	kw := p.advance() // 'rule'
 	name, err := p.parseName("rule")
 	if err != nil {
 		return nil, err
@@ -311,9 +321,10 @@ func (p *parser) parseRule() (*Rule, error) {
 	if err := p.expectPunct(";"); err != nil {
 		return nil, err
 	}
-	r := &Rule{Name: name, LHS: lhs, Constraints: constraints, RHS: rhs, Methods: methods}
+	r := &Rule{Name: name, LHS: lhs, Constraints: constraints, RHS: rhs, Methods: methods,
+		Line: kw.line, Col: kw.col}
 	if r.LHS.Kind != term.Fun {
-		return nil, fmt.Errorf("rules: rule %q: left-hand side must be a functional expression", name)
+		return nil, fmt.Errorf("rules: %d:%d: rule %q: left-hand side must be a functional expression", kw.line, kw.col, name)
 	}
 	return r, nil
 }
@@ -341,7 +352,7 @@ func (p *parser) parseTermList(stop func() bool) ([]*term.Term, error) {
 
 // parseBlock parses: block(<name>, {<rule>, ...}, <limit>);
 func (p *parser) parseBlock() (*Block, error) {
-	p.advance() // 'block'
+	kw := p.advance() // 'block'
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
@@ -369,12 +380,12 @@ func (p *parser) parseBlock() (*Block, error) {
 	if err := p.expectPunct(";"); err != nil {
 		return nil, err
 	}
-	return &Block{Name: name, Rules: names, Limit: limit}, nil
+	return &Block{Name: name, Rules: names, Limit: limit, Line: kw.line, Col: kw.col}, nil
 }
 
 // parseSeq parses: seq({<block>, ...}, <limit>);
 func (p *parser) parseSeq() (*Seq, error) {
-	p.advance() // 'seq'
+	kw := p.advance() // 'seq'
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
@@ -395,7 +406,7 @@ func (p *parser) parseSeq() (*Seq, error) {
 	if err := p.expectPunct(";"); err != nil {
 		return nil, err
 	}
-	return &Seq{Blocks: names, Limit: limit}, nil
+	return &Seq{Blocks: names, Limit: limit, Line: kw.line, Col: kw.col}, nil
 }
 
 func (p *parser) parseNameSet(what string) ([]string, error) {

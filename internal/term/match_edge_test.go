@@ -1,0 +1,166 @@
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// These tests pin down the edge cases of sequence-variable ("x*") and
+// multiset matching: empty bindings, collection-variable-only argument
+// lists, and partition enumeration when several collection variables
+// share one SET argument.
+
+func seqString(ts []*Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func TestMatchSeqVarBindsEmptyOrdered(t *testing.T) {
+	// P(x, w*) against P(a): w* must bind to the empty sequence.
+	pat := F("P", V("x"), SV("w"))
+	sub := F("P", Str("a"))
+	b, ok := MatchFirst(pat, sub)
+	if !ok {
+		t.Fatal("pattern should match with an empty sequence binding")
+	}
+	if x, _ := b.Var("x"); !Equal(x, Str("a")) {
+		t.Fatalf("x bound to %s, want 'a'", x)
+	}
+	w, bound := b.Seq("w")
+	if !bound || len(w) != 0 {
+		t.Fatalf("w* bound to %s, want empty sequence", seqString(w))
+	}
+}
+
+func TestMatchSeqVarBindsEmptyInSet(t *testing.T) {
+	// FILTER(r, ANDS(SET(c, w*))) against a one-conjunct qualification:
+	// the single element goes to c, w* takes the empty remainder. This is
+	// the shape every push-style rule relies on.
+	pat := F("ANDS", Set(V("c"), SV("w")))
+	sub := F("ANDS", Set(F("=", Str("A"), Num(1))))
+	b, ok := MatchFirst(pat, sub)
+	if !ok {
+		t.Fatal("single-conjunct SET should match (c, w*) with empty w")
+	}
+	if c, _ := b.Var("c"); !Equal(c, F("=", Str("A"), Num(1))) {
+		t.Fatalf("c bound to %s", c)
+	}
+	if w, _ := b.Seq("w"); len(w) != 0 {
+		t.Fatalf("w* bound to %s, want empty", seqString(w))
+	}
+}
+
+func TestMatchSeqVarOnlyArgumentList(t *testing.T) {
+	// P(w*): the collection variable is the entire argument list. It must
+	// match zero arguments, and any number, preserving order.
+	pat := F("P", SV("w"))
+
+	b, ok := MatchFirst(pat, F("P"))
+	if !ok {
+		t.Fatal("P(w*) should match P()")
+	}
+	if w, bound := b.Seq("w"); !bound || len(w) != 0 {
+		t.Fatalf("w* = %s, want bound empty sequence", seqString(w))
+	}
+
+	b, ok = MatchFirst(pat, F("P", Str("a"), Str("b"), Str("c")))
+	if !ok {
+		t.Fatal("P(w*) should match P(a, b, c)")
+	}
+	w, _ := b.Seq("w")
+	if len(w) != 3 || !Equal(w[0], Str("a")) || !Equal(w[1], Str("b")) || !Equal(w[2], Str("c")) {
+		t.Fatalf("w* = %s, want [a b c] in order", seqString(w))
+	}
+}
+
+func TestMatchSeqVarEnumeratesSplits(t *testing.T) {
+	// LIST(u*, v*) against LIST(1, 2): ordered splits only — (|12), (1|2),
+	// (12|) — no reorderings.
+	pat := List(SV("u"), SV("v"))
+	sub := List(Num(1), Num(2))
+	var got []string
+	b := NewBindings()
+	Match(pat, sub, b, func() bool {
+		u, _ := b.Seq("u")
+		v, _ := b.Seq("v")
+		got = append(got, fmt.Sprintf("%s|%s", seqString(u), seqString(v)))
+		return false // enumerate all solutions
+	})
+	want := []string{"[]|[1 2]", "[1]|[2]", "[1 2]|[]"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("splits = %v, want %v", got, want)
+	}
+}
+
+func TestMatchTwoSeqVarsInOneSetEnumeratePartitions(t *testing.T) {
+	// SET(u*, v*) against SET(1, 2): every partition of the multiset into
+	// two groups must be enumerated — 2 elements × 2 variables = 4.
+	pat := Set(SV("u"), SV("v"))
+	sub := Set(Num(1), Num(2))
+	var got []string
+	b := NewBindings()
+	Match(pat, sub, b, func() bool {
+		u, _ := b.Seq("u")
+		v, _ := b.Seq("v")
+		got = append(got, fmt.Sprintf("%s|%s", seqString(u), seqString(v)))
+		return false
+	})
+	sort.Strings(got)
+	want := []string{"[]|[1 2]", "[1 2]|[]", "[1]|[2]", "[2]|[1]"}
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("partitions = %v, want %v", got, want)
+	}
+}
+
+func TestMatchTwoSeqVarsEmptyRemainder(t *testing.T) {
+	// SET(c, u*, v*) against SET(x): the fixed pattern consumes the only
+	// element, so both collection variables must accept the empty group —
+	// exactly one solution.
+	pat := Set(V("c"), SV("u"), SV("v"))
+	sub := Set(Str("x"))
+	n := 0
+	b := NewBindings()
+	Match(pat, sub, b, func() bool {
+		u, uOK := b.Seq("u")
+		v, vOK := b.Seq("v")
+		if !uOK || !vOK || len(u) != 0 || len(v) != 0 {
+			t.Fatalf("u=%s v=%s, want both bound empty", seqString(u), seqString(v))
+		}
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("solutions = %d, want exactly 1", n)
+	}
+}
+
+func TestMatchRepeatedSeqVarMustAgree(t *testing.T) {
+	// P(LIST(w*), LIST(w*)): the second occurrence must replay the first
+	// binding, element for element.
+	pat := F("P", List(SV("w")), List(SV("w")))
+	if _, ok := MatchFirst(pat, F("P", List(Num(1), Num(2)), List(Num(1), Num(2)))); !ok {
+		t.Fatal("equal lists should match a repeated collection variable")
+	}
+	if _, ok := MatchFirst(pat, F("P", List(Num(1), Num(2)), List(Num(2), Num(1)))); ok {
+		t.Fatal("differently ordered lists must not match a repeated collection variable")
+	}
+	// In a SET the repeated variable compares as a multiset, so order of
+	// the remainder is irrelevant.
+	setPat := F("P", Set(Num(9), SV("w")), Set(SV("w")))
+	if _, ok := MatchFirst(setPat, F("P", Set(Num(9), Num(1), Num(2)), Set(Num(2), Num(1)))); !ok {
+		t.Fatal("multiset remainder should match the repeated variable regardless of order")
+	}
+}
+
+func TestMatchSeqVarRejectsTopLevel(t *testing.T) {
+	// A bare collection variable outside an argument list never matches.
+	if _, ok := MatchFirst(SV("w"), Str("a")); ok {
+		t.Fatal("top-level collection variable must not match")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"lera/internal/guard"
 	lalg "lera/internal/lera"
 	"lera/internal/rewrite"
+	"lera/internal/rulecheck"
 	"lera/internal/term"
 	"lera/internal/value"
 )
@@ -127,7 +128,30 @@ var (
 	// WithPlanning enables the §7 planning-hint extension: join operands
 	// reorder by estimated cardinality, smallest first.
 	WithPlanning = core.WithPlanning
+	// WithRuleCheck statically verifies the assembled rule base at
+	// construction time: error-level findings refuse the rule base,
+	// advisory findings are kept on Rewriter.CheckDiagnostics. See
+	// docs/RULES.md ("Validating your rules").
+	WithRuleCheck = core.WithRuleCheck
 )
+
+// Diagnostic is one finding of the rule-base verifier (internal/rulecheck):
+// a static lint result or a differential-testing counterexample. Obtain
+// them from Session.CheckRules, Rewriter.CheckRules or the rulecheck CLI.
+type Diagnostic = rulecheck.Diagnostic
+
+// DiagnosticSeverity ranks verifier findings.
+type DiagnosticSeverity = rulecheck.Severity
+
+// Verifier finding severities.
+const (
+	SevInfo  = rulecheck.SevInfo
+	SevWarn  = rulecheck.SevWarn
+	SevError = rulecheck.SevError
+)
+
+// HasCheckErrors reports whether any verifier finding is error-level.
+func HasCheckErrors(ds []Diagnostic) bool { return rulecheck.HasErrors(ds) }
 
 // Format renders a LERA term in the paper's concrete syntax, e.g.
 // search((APPEARS_IN, FILM), [1.1=2.1 ∧ ...], (2.2, 2.3, salary(1.2))).
