@@ -17,7 +17,7 @@ import (
 	"lera/internal/value"
 )
 
-func filmsBench(b *testing.B, n int, opts ...Option) *Session {
+func filmsBench(b testing.TB, n int, opts ...Option) *Session {
 	b.Helper()
 	s := NewSession(opts...)
 	s.MustExec(`
@@ -40,7 +40,7 @@ TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
 	return s
 }
 
-func graphBench(b *testing.B, n int, opts ...Option) *Session {
+func graphBench(b testing.TB, n int, opts ...Option) *Session {
 	b.Helper()
 	s := NewSession(opts...)
 	s.MustExec(`
@@ -256,9 +256,9 @@ func BenchmarkRewriteFigure5(b *testing.B) {
 	}
 }
 
-func paperSession(b *testing.B) *Session {
+func paperSession(b testing.TB, opts ...Option) *Session {
 	b.Helper()
-	s := NewSession()
+	s := NewSession(opts...)
 	s.MustExec(esql.Figure2DDL)
 	s.MustExec(esql.Figure4View)
 	s.MustExec(esql.Figure5View)
@@ -275,6 +275,117 @@ func paperSession(b *testing.B) *Session {
 		s.SetObject(oid, obj)
 	}
 	return s
+}
+
+// engineModes pairs the default (indexed) engine with the WithFullScan
+// oracle so the hot-path benchmarks report both sides of the tentpole.
+var engineModes = []struct {
+	name string
+	opts []Option
+}{
+	{"indexed", nil},
+	{"fullscan", []Option{WithFullScan()}},
+}
+
+// deadRuleSrc builds n rules whose LHS heads never occur in any LERA
+// term, collected into one block. The full-scan engine still attempts
+// every rule at every node; the indexed engine discards them all from a
+// single map lookup.
+func deadRuleSrc(n int) string {
+	var src strings.Builder
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src, "rule bdead%d: BENCHDEAD%d(x) --> BENCHGONE%d(x);\n", i, i, i)
+		names = append(names, fmt.Sprintf("bdead%d", i))
+	}
+	fmt.Fprintf(&src, "block(benchdead, {%s}, inf);\n", strings.Join(names, ", "))
+	return src.String()
+}
+
+const deadSeq = "seq({typecheck, normalize, merge, push, fixpoint, merge, constraints, semantic, simplify, merge, benchdead}, 2);"
+
+// Micro: a realistic rule base padded with 64 dead-head rules — the
+// many-rule regime the head index targets.
+func BenchmarkRewriteManyRules(b *testing.B) {
+	for _, mode := range engineModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]Option{WithRules(deadRuleSrc(64)), WithSequence(deadSeq)}, mode.opts...)
+			s := paperSession(b, opts...)
+			rw, err := s.Rewriter()
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := translateBench(s, "SELECT Title, Categories, Salary(Refactor) FROM APPEARS_IN, FILM WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'Quinn' AND MEMBER('Adventure', Categories)")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rw.Rewrite(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Micro: rewrite of a deep operand tree (a 12-view stack), where each pass
+// of the naive loop re-walks every node for every rule.
+func BenchmarkRewriteDeepTerm(b *testing.B) {
+	for _, mode := range engineModes {
+		b.Run(mode.name, func(b *testing.B) {
+			s := filmsBench(b, 10, mode.opts...)
+			prev := "FILM"
+			for i := 1; i <= 12; i++ {
+				name := fmt.Sprintf("DV%d", i)
+				s.MustExec(fmt.Sprintf(
+					"CREATE VIEW %s (Numf, Title, Categories) AS SELECT Numf, Title, Categories FROM %s WHERE Numf > %d;", name, prev, i))
+				prev = name
+			}
+			rw, err := s.Rewriter()
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := translateBench(s, "SELECT Title FROM DV12 WHERE Numf < 100")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rw.Rewrite(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Micro: the no-match worst case — a sequence of nothing but dead rules,
+// so every attempted match fails and the engine's fixed costs dominate.
+func BenchmarkRewriteNoMatch(b *testing.B) {
+	for _, mode := range engineModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]Option{WithRules(deadRuleSrc(64)), WithSequence("seq({benchdead}, 1);")}, mode.opts...)
+			s := paperSession(b, opts...)
+			rw, err := s.Rewriter()
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := translateBench(s, "SELECT Title, Categories, Salary(Refactor) FROM APPEARS_IN, FILM WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'Quinn' AND MEMBER('Adventure', Categories)")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rw.Rewrite(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func translateBench(s *Session, src string) (*Term, error) {

@@ -4,7 +4,7 @@
 // join pairs, tuples emitted, predicate evaluations, fixpoint iterations)
 // plus wall-clock time.
 //
-// Usage: benchrunner [-e 1,4,7] [-json]   (default: all experiments)
+// Usage: benchrunner [-e 1,4,7] [-json] [-cpuprofile f] [-memprofile f]
 //
 // With -json the tables are emitted as one JSON document that also
 // records provenance — the git commit the binary was built from and a
@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -48,8 +50,40 @@ var rec recorder
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
 	asJSON := flag.Bool("json", false, "emit results as JSON with commit and rule-base provenance")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	rec.jsonMode = *asJSON
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: -memprofile:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: -memprofile:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	want := map[int]bool{}
 	if *sel != "" {
 		for _, f := range strings.Split(*sel, ",") {

@@ -52,6 +52,7 @@ type config struct {
 	disableBlocks map[string]bool
 	blockLimits   map[string]int
 	ruleCheck     bool
+	fullScan      bool
 }
 
 // WithTrace records a rule-application trace for Explain.
@@ -101,6 +102,12 @@ func WithBlockLimit(name string, limit int) Option {
 		c.blockLimits[name] = limit
 	}
 }
+
+// WithFullScan disables the head-discrimination rule index and restores
+// the naive walk-per-rule match loop. The two paths produce identical
+// rewrites (docs/PERF.md); this exists as the differential-testing oracle
+// and as an escape hatch while diagnosing index-related surprises.
+func WithFullScan() Option { return func(c *config) { c.fullScan = true } }
 
 // WithRuleCheck runs the static rule-base verifier (internal/rulecheck)
 // over the assembled rule set at construction time: error-level findings
@@ -250,6 +257,7 @@ func (r *Rewriter) newEngine(q *term.Term, lim guard.Limits) *rewrite.Engine {
 		CollectTrace: r.cfg.trace,
 		MaxChecks:    r.cfg.maxChecks,
 		Limits:       lim,
+		FullScan:     r.cfg.fullScan,
 	}
 	limits := map[string]int{}
 	for k, v := range r.cfg.blockLimits {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"lera/internal/catalog"
@@ -249,8 +250,15 @@ type TraceEntry struct {
 // §4.2/§7 budget discussion.
 type Stats struct {
 	ConditionChecks int // LHS matches on which constraints were evaluated
-	Applications    int // successful rewrites
-	Rounds          int // sequence iterations executed
+	// MatchAttempts counts invocations of the backtracking matcher — one
+	// per (rule, candidate site) pair tried. Unlike ConditionChecks (the
+	// §4.2 budget currency, which by construction is identical between the
+	// indexed and the full-scan engine), this is the work counter the rule
+	// index actually shrinks: sites whose head functor or arity cannot
+	// match a rule's LHS are never attempted.
+	MatchAttempts int
+	Applications  int // successful rewrites
+	Rounds        int // sequence iterations executed
 	BudgetExhausted bool
 
 	// Degraded records graceful degradation: the rewrite failed, panicked
@@ -277,6 +285,12 @@ type Options struct {
 	// query term's node count. (The wall-clock deadline arrives through
 	// the RunCtx context instead.)
 	Limits guard.Limits
+	// FullScan disables the rule/site index and walks the whole term once
+	// per rule per iteration, as the engine did before indexing. The two
+	// paths produce identical rewrites and identical ConditionChecks (the
+	// differential regression test pins this); FullScan only exists as
+	// that test's oracle and as an escape hatch.
+	FullScan bool
 }
 
 // DefaultMaxChecks bounds runaway rule systems.
@@ -293,6 +307,14 @@ type Engine struct {
 
 	ctx      context.Context // cancellation context of the current run
 	lastGood *term.Term      // term after the last committed application
+
+	// Hot-path state (docs/PERF.md): the per-rule LHS head filters, the
+	// per-pass site index and a scratch binding set reused across match
+	// attempts. All rebuilt or reset in place, so a steady-state pass
+	// allocates almost nothing per visited site.
+	filters map[string]lhsFilter
+	ix      siteIndex
+	scratch *term.Bindings
 }
 
 // New creates an engine.
@@ -398,11 +420,24 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 	if budget == rules.Infinite {
 		budget = math.MaxInt
 	}
+	indexed := !e.Opts.FullScan
+	if indexed && budget > 0 {
+		// One walk per pass: the site index stays valid for every rule of
+		// the pass, since the term only changes on a committed application.
+		e.ix.rebuild(q)
+	}
 	for budget > 0 {
 		applied := false
 		for _, rn := range b.Rules {
 			rule := e.RS.Rules[rn]
-			nq, ok, err := e.applyOnce(q, rule, b.Name, &budget, st)
+			var nq *term.Term
+			var ok bool
+			var err error
+			if indexed {
+				nq, ok, err = e.applyOnceIndexed(q, rule, b.Name, &budget, st)
+			} else {
+				nq, ok, err = e.applyOnce(q, rule, b.Name, &budget, st)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -410,6 +445,9 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 				q = nq
 				e.lastGood = q
 				applied = true
+				if indexed {
+					e.ix.rebuild(q)
+				}
 				break // restart from the first rule of the block
 			}
 			if budget <= 0 {
@@ -426,99 +464,149 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 	return q, nil
 }
 
-// applyOnce tries to apply rule at the topmost-leftmost applicable site.
+// siteOutcome reports what trying one rule at one site produced.
+type siteOutcome int
+
+const (
+	// siteSkip: the site failed the LHS head pre-filter; no match was
+	// attempted.
+	siteSkip siteOutcome = iota
+	// siteNoMatch: the LHS did not match (or every binding was rejected by
+	// constraints, or the methods vetoed); keep trying later sites.
+	siteNoMatch
+	// siteApplied: the rule was applied; the returned term is the rewritten
+	// query.
+	siteApplied
+	// siteStop: stop trying sites for this rule — the budget ran out mid-
+	// search or an error was raised (returned alongside).
+	siteStop
+)
+
+// applyOnce tries to apply rule at the topmost-leftmost applicable site by
+// walking the whole term — the pre-index control strategy, kept behind
+// Options.FullScan as the differential-testing oracle.
 func (e *Engine) applyOnce(q *term.Term, rule *rules.Rule, blockName string, budget *int, st *Stats) (*term.Term, bool, error) {
 	var result *term.Term
 	var applyErr error
 	found := false
-
 	term.Walk(q, func(sub *term.Term, path term.Path) bool {
 		if sub.Kind != term.Fun || *budget <= 0 {
 			return *budget > 0
 		}
-		b := term.NewBindings()
-		ctx := &Ctx{Cat: e.Cat, Root: q, Site: path.Clone(), Bind: b, Rule: rule.Name, engine: e}
-		matched := term.Match(rule.LHS, sub, b, func() bool {
-			// One condition check: the LHS matched and the constraints
-			// are evaluated (§4.2 budget semantics).
-			*budget--
-			st.ConditionChecks++
-			if err := guard.CheckCtx(e.ctx); err != nil {
-				applyErr = err
-				return true // stop the search; error reported below
-			}
-			if st.ConditionChecks > e.Opts.MaxChecks {
-				applyErr = fmt.Errorf("rewrite: rule system exceeded %d condition checks (non-terminating rule set?)", e.Opts.MaxChecks)
-				return true
-			}
-			ok, err := e.checkConstraints(ctx, rule)
-			if err != nil {
-				applyErr = fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
-				return true
-			}
-			if !ok {
-				return false
-			}
-			if *budget < 0 {
-				return false
-			}
-			return true
-		})
-		if applyErr != nil {
-			return false
-		}
-		if !matched {
-			return *budget > 0
-		}
-		// Run methods; a method may veto.
-		for _, m := range rule.Methods {
-			ok, err := e.runMethod(ctx, m)
-			if err != nil {
-				applyErr = fmt.Errorf("rewrite: rule %s, method %s: %w", rule.Name, m.Functor, err)
-				return false
-			}
-			if !ok {
-				return true // veto: keep walking for another site
-			}
-		}
-		rhs, err := e.instantiate(ctx, rule.RHS)
+		res, outcome, err := e.tryRuleAtSite(q, rule, blockName, sub, path.Clone, budget, st)
 		if err != nil {
-			applyErr = fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
+			applyErr = err
 			return false
 		}
-		if term.Equal(rhs, sub) {
-			// No-change application: treat as inapplicable here (keeps
-			// idempotent semantic rules from looping).
-			return true
-		}
-		if max := e.Opts.Limits.MaxSteps; max > 0 && st.Applications >= max {
-			applyErr = fmt.Errorf("rewrite: %w: %d rule applications reached (cap %d)",
-				guard.ErrStepBudget, st.Applications, max)
+		switch outcome {
+		case siteApplied:
+			result = res
+			found = true
+			return false
+		case siteStop:
 			return false
 		}
-		result = term.ReplaceAt(q, path, rhs)
-		if max := e.Opts.Limits.MaxTermSize; max > 0 {
-			if sz := termSize(result); sz > max {
-				applyErr = fmt.Errorf("rewrite: rule %s: %w: term grew to %d nodes (cap %d)",
-					rule.Name, guard.ErrTermSize, sz, max)
-				result = nil
-				return false
-			}
-		}
-		found = true
-		st.Applications++
-		if e.Opts.CollectTrace {
-			e.Trace = append(e.Trace, TraceEntry{
-				Block: blockName, Rule: rule.Name, Site: path.Clone(),
-				Before: sub.String(), After: rhs.String(),
-			})
-		}
-		return false // stop the walk
+		return *budget > 0
 	})
 	if applyErr != nil {
 		return nil, false, applyErr
 	}
 	return result, found, nil
+}
+
+// tryRuleAtSite attempts one rule at one Fun site. It is the single match
+// loop shared by the indexed and the full-scan paths, so the two cannot
+// drift apart semantically. lazyPath materializes the site's root path and
+// is only invoked once a complete LHS match needs it (for constraints,
+// methods, replacement and traces) — sites that never match never pay for
+// a path allocation, and no Bindings or Ctx is allocated before the head
+// has already passed the caller's pre-filter.
+func (e *Engine) tryRuleAtSite(q *term.Term, rule *rules.Rule, blockName string, sub *term.Term, lazyPath func() term.Path, budget *int, st *Stats) (*term.Term, siteOutcome, error) {
+	st.MatchAttempts++
+	if e.scratch == nil {
+		e.scratch = term.NewBindings()
+	}
+	b := e.scratch
+	b.Reset()
+	ctx := &Ctx{Cat: e.Cat, Root: q, Bind: b, Rule: rule.Name, engine: e}
+	haveSite := false
+	var applyErr error
+	matched := term.Match(rule.LHS, sub, b, func() bool {
+		// One condition check: the LHS matched and the constraints
+		// are evaluated (§4.2 budget semantics).
+		*budget--
+		st.ConditionChecks++
+		if err := guard.CheckCtx(e.ctx); err != nil {
+			applyErr = err
+			return true // stop the search; error reported below
+		}
+		if st.ConditionChecks > e.Opts.MaxChecks {
+			applyErr = fmt.Errorf("rewrite: rule system exceeded %d condition checks (non-terminating rule set?)", e.Opts.MaxChecks)
+			return true
+		}
+		if !haveSite {
+			ctx.Site = lazyPath()
+			haveSite = true
+		}
+		ok, err := e.checkConstraints(ctx, rule)
+		if err != nil {
+			applyErr = fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
+			return true
+		}
+		if !ok {
+			return false
+		}
+		if *budget < 0 {
+			return false
+		}
+		return true
+	})
+	if applyErr != nil {
+		return nil, siteStop, applyErr
+	}
+	if !matched {
+		return nil, siteNoMatch, nil
+	}
+	// Run methods; a method may veto.
+	for _, m := range rule.Methods {
+		ok, err := e.runMethod(ctx, m)
+		if err != nil {
+			return nil, siteStop, fmt.Errorf("rewrite: rule %s, method %s: %w", rule.Name, m.Functor, err)
+		}
+		if !ok {
+			return nil, siteNoMatch, nil // veto: keep trying other sites
+		}
+	}
+	rhs, err := e.instantiate(ctx, rule.RHS)
+	if err != nil {
+		return nil, siteStop, fmt.Errorf("rewrite: rule %s: %w", rule.Name, err)
+	}
+	if term.Equal(rhs, sub) {
+		// No-change application: treat as inapplicable here (keeps
+		// idempotent semantic rules from looping).
+		return nil, siteNoMatch, nil
+	}
+	if max := e.Opts.Limits.MaxSteps; max > 0 && st.Applications >= max {
+		return nil, siteStop, fmt.Errorf("rewrite: %w: %d rule applications reached (cap %d)",
+			guard.ErrStepBudget, st.Applications, max)
+	}
+	result := term.ReplaceAt(q, ctx.Site, rhs)
+	if max := e.Opts.Limits.MaxTermSize; max > 0 {
+		if sz := result.Size(); sz > max {
+			return nil, siteStop, fmt.Errorf("rewrite: rule %s: %w: term grew to %d nodes (cap %d)",
+				rule.Name, guard.ErrTermSize, sz, max)
+		}
+	}
+	st.Applications++
+	if e.Opts.CollectTrace {
+		// All trace-only work — the path clone and the Before/After
+		// renderings — happens only when a trace is actually collected.
+		e.Trace = append(e.Trace, TraceEntry{
+			Block: blockName, Rule: rule.Name, Site: ctx.Site.Clone(),
+			Before: sub.String(), After: rhs.String(),
+		})
+	}
+	return result, siteApplied, nil
 }
 
 func (e *Engine) checkConstraints(ctx *Ctx, rule *rules.Rule) (bool, error) {
@@ -576,12 +664,19 @@ func externalName(c *term.Term) string {
 	return c.String()
 }
 
-// sitePath renders a match-site path for error reporting.
-func sitePath(p term.Path) string { return fmt.Sprint([]int(p)) }
-
-// termSize counts the nodes of a term (the MaxTermSize currency).
-func termSize(t *term.Term) int {
-	return term.Count(t, func(*term.Term) bool { return true })
+// sitePath renders a match-site path for error reporting, in the same
+// "[1 0 2]" form fmt.Sprint gave, without reflection.
+func sitePath(p term.Path) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, x := range p {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // instArg instantiates a constraint/method argument: bound variables are
@@ -624,11 +719,9 @@ func (e *Engine) instArg(ctx *Ctx, a *term.Term) *term.Term {
 		functor := a.Functor
 		if a.VarHead {
 			if f, ok := ctx.Bind.Fun(a.Functor); ok {
-				nt := term.F(f, args...)
-				return nt
+				return term.F(f, args...)
 			}
-			nt := &term.Term{Kind: term.Fun, Functor: a.Functor, Args: args, VarHead: true}
-			return nt
+			return term.FV(a.Functor, args...)
 		}
 		return term.F(functor, args...)
 	}

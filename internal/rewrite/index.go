@@ -1,0 +1,231 @@
+// Rule and site indexing for the engine hot path (docs/PERF.md).
+//
+// The paper's §4.2 control strategy restarts a block from its first rule
+// after every application, so the naive loop re-walks the whole query term
+// once per rule per iteration and attempts a full match at every node. But
+// a match can only complete at a node whose head functor and arity are
+// compatible with the rule's LHS head — a property computable once per
+// rule and once per node. The engine therefore discriminates on the head,
+// Starburst/Volcano style: each rule's LHS is classified into an lhsFilter
+// at engine construction, and each pass walks the term once, bucketing
+// Fun nodes by functor into a siteIndex. A rule then visits only its
+// candidate sites, in the same preorder the naive walk would have used, so
+// the sequence of complete matches — and with it every rewrite result and
+// every §4.2 budget decrement — is bit-for-bit identical to the full scan.
+package rewrite
+
+import (
+	"lera/internal/rules"
+	"lera/internal/term"
+)
+
+// headKind classifies how a rule's LHS constrains a match site's head.
+type headKind int
+
+const (
+	// headExact: the LHS head is a concrete functor; only sites with that
+	// functor are candidates.
+	headExact headKind = iota
+	// headCollection: the LHS head is the pattern-only COLLECTION functor,
+	// matching any of SET, BAG, LIST, ARRAY (or a literal COLLECTION).
+	headCollection
+	// headAny: the head cannot be discriminated — a function-variable head
+	// (Figure 6's F, G, ...) or a bare variable LHS matches every functor.
+	headAny
+	// headNone: the LHS is a constant or a bare collection variable, which
+	// can never match a Fun site; the rule has no candidates at all.
+	headNone
+)
+
+// lhsFilter is the per-rule discrimination key: a conservative, O(1)
+// necessary condition for the rule's LHS to match at a site. It never
+// rejects a site the matcher could accept; it only skips sites where the
+// backtracking matcher would have failed on the head or the arity.
+type lhsFilter struct {
+	kind    headKind
+	functor string // headExact only
+	// minArity is the number of non-collection-variable LHS arguments; a
+	// subject needs at least that many. When the LHS has no collection
+	// variables (exact == true) the subject arity must match minArity
+	// exactly — both the ordered and the SET/BAG multiset matcher consume
+	// all subject arguments. Collection-variable arguments absorb any
+	// surplus, which is also why AC heads can't be discriminated further
+	// than functor/minimum-arity (see docs/PERF.md).
+	minArity int
+	exact    bool
+}
+
+// filterFor classifies a rule's LHS.
+func filterFor(lhs *term.Term) lhsFilter {
+	switch lhs.Kind {
+	case term.Var:
+		// A bare variable binds any subterm: every Fun site is a candidate.
+		return lhsFilter{kind: headAny}
+	case term.Fun:
+		min, exact := arityBounds(lhs.Args)
+		switch {
+		case lhs.VarHead:
+			return lhsFilter{kind: headAny, minArity: min, exact: exact}
+		case lhs.Functor == term.FCollection:
+			return lhsFilter{kind: headCollection, minArity: min, exact: exact}
+		default:
+			return lhsFilter{kind: headExact, functor: lhs.Functor, minArity: min, exact: exact}
+		}
+	default: // Const, SeqVar: the engine only matches at Fun sites
+		return lhsFilter{kind: headNone}
+	}
+}
+
+// arityBounds derives the subject-arity constraint from LHS arguments.
+func arityBounds(args []*term.Term) (min int, exact bool) {
+	seqs := 0
+	for _, a := range args {
+		if a.Kind == term.SeqVar {
+			seqs++
+		}
+	}
+	return len(args) - seqs, seqs == 0
+}
+
+// admits reports whether a Fun site passes the arity constraint.
+func (f lhsFilter) admits(site *term.Term) bool {
+	if f.exact {
+		return len(site.Args) == f.minArity
+	}
+	return len(site.Args) >= f.minArity
+}
+
+// ruleFilters computes (and memoizes) the lhsFilter of every rule in the
+// engine's rule set.
+func (e *Engine) ruleFilters() map[string]lhsFilter {
+	if e.filters == nil {
+		e.filters = make(map[string]lhsFilter, len(e.RS.Rules))
+		for name, r := range e.RS.Rules {
+			e.filters[name] = filterFor(r.LHS)
+		}
+	}
+	return e.filters
+}
+
+// siteEntry is one Fun node of the current query term, with enough parent
+// linkage to materialize its Path lazily — the path is only built when a
+// match actually completes, never for the nodes the walk merely passes.
+type siteEntry struct {
+	node   *term.Term
+	parent int32 // index of the parent entry, -1 at the root
+	arg    int32 // argument position within the parent
+	depth  int32
+}
+
+// siteIndex is the per-pass discrimination structure: all Fun nodes of the
+// query term in preorder, bucketed by head functor. It is rebuilt (in one
+// walk, reusing its allocations) after every committed application, and
+// stays valid across all rules of a pass because no term changes between
+// applications.
+type siteIndex struct {
+	sites  []siteEntry
+	byHead map[string][]int32
+	coll   []int32 // sites matching the COLLECTION pattern head
+}
+
+// rebuild walks root once and refills the index in place.
+func (ix *siteIndex) rebuild(root *term.Term) {
+	ix.sites = ix.sites[:0]
+	ix.coll = ix.coll[:0]
+	if ix.byHead == nil {
+		ix.byHead = make(map[string][]int32)
+	} else {
+		for k, v := range ix.byHead {
+			ix.byHead[k] = v[:0]
+		}
+	}
+	var rec func(t *term.Term, parent, arg, depth int32)
+	rec = func(t *term.Term, parent, arg, depth int32) {
+		if t.Kind != term.Fun {
+			return
+		}
+		id := int32(len(ix.sites))
+		ix.sites = append(ix.sites, siteEntry{node: t, parent: parent, arg: arg, depth: depth})
+		ix.byHead[t.Functor] = append(ix.byHead[t.Functor], id)
+		switch t.Functor {
+		case term.FSet, term.FBag, term.FList, term.FArray, term.FCollection:
+			ix.coll = append(ix.coll, id)
+		}
+		for i, a := range t.Args {
+			rec(a, id, int32(i), depth+1)
+		}
+	}
+	rec(root, -1, -1, 0)
+}
+
+// path materializes the root path of site id by chasing parent links.
+func (ix *siteIndex) path(id int32) term.Path {
+	e := ix.sites[id]
+	p := make(term.Path, e.depth)
+	for i := int(e.depth) - 1; i >= 0; i-- {
+		p[i] = int(e.arg)
+		e = ix.sites[e.parent]
+	}
+	return p
+}
+
+// applyOnceIndexed is applyOnce over the site index: same rule, same
+// topmost-leftmost site order, same budget accounting, but only candidate
+// sites are attempted. The shared tryRuleAtSite keeps the two paths'
+// behavior identical by construction.
+func (e *Engine) applyOnceIndexed(q *term.Term, rule *rules.Rule, blockName string, budget *int, st *Stats) (*term.Term, bool, error) {
+	f := e.ruleFilters()[rule.Name]
+	if f.kind == headNone {
+		return nil, false, nil
+	}
+	ix := &e.ix
+	try := func(id int32) (*term.Term, siteOutcome, error) {
+		site := ix.sites[id].node
+		if !f.admits(site) {
+			return nil, siteSkip, nil
+		}
+		return e.tryRuleAtSite(q, rule, blockName, site,
+			func() term.Path { return ix.path(id) }, budget, st)
+	}
+	var ids []int32
+	switch f.kind {
+	case headExact:
+		ids = ix.byHead[f.functor]
+	case headCollection:
+		ids = ix.coll
+	case headAny:
+		// No discrimination possible: every site in preorder.
+		for id := int32(0); id < int32(len(ix.sites)); id++ {
+			if *budget <= 0 {
+				return nil, false, nil
+			}
+			res, outcome, err := try(id)
+			if err != nil {
+				return nil, false, err
+			}
+			if outcome == siteApplied {
+				return res, true, nil
+			}
+			if outcome == siteStop {
+				return nil, false, nil
+			}
+		}
+		return nil, false, nil
+	}
+	for _, id := range ids {
+		if *budget <= 0 {
+			return nil, false, nil
+		}
+		res, outcome, err := try(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if outcome == siteApplied {
+			return res, true, nil
+		}
+		if outcome == siteStop {
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}

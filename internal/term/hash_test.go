@@ -1,0 +1,108 @@
+package term
+
+import (
+	"testing"
+
+	"lera/internal/value"
+)
+
+// sample terms covering every kind, canonicalization and sharing.
+func hashSamples() []*Term {
+	deep := F("SEARCH", List(Str("FILM")), F("ANDS", Set(F("EQ", Num(1), Num(1)))), V("p"))
+	return []*Term{
+		Num(5), Flt(5), Num(-3), Str("x"), Str(""), TrueT(), FalseT(),
+		C(value.Null),
+		V("x"), V("y"), SV("x"),
+		F("F", V("x")), FV("F", V("x")),
+		Set(Num(1), Num(2)), Set(Num(2), Num(1)), Bag(Num(1), Num(1)),
+		List(Num(1), Num(2)), List(Num(2), Num(1)),
+		TupleT(Num(1)), Array(Num(1)),
+		deep,
+		ReplaceAt(deep, Path{1, 0, 0, 1}, Num(2)),
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	ts := hashSamples()
+	for i, a := range ts {
+		for j, b := range ts {
+			eq := Compare(a, b) == 0
+			if eq && a.Hash() != b.Hash() {
+				t.Errorf("samples %d and %d compare equal but hash %d != %d (%s vs %s)",
+					i, j, a.Hash(), b.Hash(), a, b)
+			}
+			if Equal(a, b) != eq {
+				t.Errorf("Equal(%s, %s) = %v, Compare says %v", a, b, !eq, eq)
+			}
+		}
+	}
+}
+
+func TestHashNumericCrossKind(t *testing.T) {
+	if Num(5).Hash() != Flt(5).Hash() {
+		t.Errorf("5 and 5.0 compare equal but hash differently")
+	}
+	if !Equal(Num(5), Flt(5)) {
+		t.Errorf("Equal(5, 5.0) = false")
+	}
+}
+
+func TestRawLiteralHashMatchesConstructed(t *testing.T) {
+	// A term built by hand (no seal) must hash like the constructed one
+	// and compare equal through the fast path without panicking.
+	raw := &Term{Kind: Fun, Functor: "F", Args: []*Term{V("x")}, VarHead: true}
+	built := FV("F", V("x"))
+	if raw.Hash() != built.Hash() {
+		t.Errorf("raw literal hash %d != constructed %d", raw.Hash(), built.Hash())
+	}
+	if !Equal(raw, built) || !Equal(built, raw) {
+		t.Errorf("raw literal and constructed term not Equal")
+	}
+	if raw.Size() != built.Size() {
+		t.Errorf("raw literal size %d != constructed %d", raw.Size(), built.Size())
+	}
+}
+
+func TestReplaceAtKeepsMemoFresh(t *testing.T) {
+	// Replacing under a VarHead spine must reseal every rebuilt node:
+	// a stale memo would make Equal disagree with Compare.
+	root := FV("G", F("H", V("x"), Num(1)))
+	repl := ReplaceAt(root, Path{0, 1}, Num(2))
+	want := FV("G", F("H", V("x"), Num(2)))
+	if Compare(repl, want) != 0 {
+		t.Fatalf("ReplaceAt structure wrong: %s", repl)
+	}
+	if !Equal(repl, want) {
+		t.Errorf("Equal(%s, %s) = false after ReplaceAt (stale memo?)", repl, want)
+	}
+	if repl.Hash() != want.Hash() {
+		t.Errorf("hash %d != %d after ReplaceAt", repl.Hash(), want.Hash())
+	}
+	if repl.Size() != want.Size() {
+		t.Errorf("size %d != %d after ReplaceAt", repl.Size(), want.Size())
+	}
+}
+
+func TestSizeMemoMatchesCount(t *testing.T) {
+	for _, s := range hashSamples() {
+		walked := Count(s, func(*Term) bool { return true })
+		if s.Size() != walked {
+			t.Errorf("Size(%s) = %d, walk counts %d", s, s.Size(), walked)
+		}
+	}
+}
+
+func TestRewritePreservesMemo(t *testing.T) {
+	in := F("ADD", F("ADD", Num(1), Num(2)), V("x"))
+	out := Rewrite(in, func(s *Term) *Term {
+		if s.Kind == Fun && s.Functor == "ADD" && s.Args[0].Kind == Const && s.Args[1].Kind == Const {
+			return Num(s.Args[0].Val.I + s.Args[1].Val.I)
+		}
+		return s
+	})
+	want := F("ADD", Num(3), V("x"))
+	if !Equal(out, want) || out.Hash() != want.Hash() || out.Size() != want.Size() {
+		t.Errorf("Rewrite memo stale: got %s (hash %d size %d), want %s (hash %d size %d)",
+			out, out.Hash(), out.Size(), want, want.Hash(), want.Size())
+	}
+}

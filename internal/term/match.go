@@ -264,6 +264,16 @@ func multisetEqual(a, b []*Term) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	// Order-independent hash sums disprove most mismatches without the
+	// sort + pairwise compare below.
+	var ha, hb uint64
+	for i := range a {
+		ha += a[i].Hash()
+		hb += b[i].Hash()
+	}
+	if ha != hb {
+		return false
+	}
 	as, bs := sortedCopy(a), sortedCopy(b)
 	for i := range as {
 		if !Equal(as[i], bs[i]) {

@@ -60,10 +60,67 @@ type Term struct {
 	VarHead bool
 	Val     value.Value // Const
 	Name    string      // Var, SeqVar
+
+	// hash and size memoize the structural fingerprint and node count,
+	// computed bottom-up by the constructors (terms are immutable, so the
+	// memo never goes stale). Zero means "not memoized": terms built by
+	// hand through a struct literal recompute on demand without caching,
+	// keeping them safe to share across goroutines.
+	hash uint64
+	size int32
+}
+
+// seal memoizes the structural hash and node count of a freshly
+// constructed term. Every constructor ends with seal; hand-built struct
+// literals skip it and fall back to on-the-fly computation in Hash/Size.
+func (t *Term) seal() *Term {
+	n := 1
+	for _, a := range t.Args {
+		n += a.Size()
+	}
+	t.size = int32(n)
+	t.hash = t.computeHash()
+	return t
+}
+
+func (t *Term) computeHash() uint64 {
+	h := value.HashUint(value.HashOffset, uint64(t.Kind))
+	switch t.Kind {
+	case Const:
+		h = value.HashUint(h, t.Val.Hash())
+	case Var, SeqVar:
+		h = value.HashString(h, t.Name)
+	case Fun:
+		if t.VarHead {
+			h = value.HashUint(h, 1)
+		}
+		h = value.HashString(h, t.Functor)
+		h = value.HashUint(h, uint64(len(t.Args)))
+		for _, a := range t.Args {
+			h = value.HashUint(h, a.Hash())
+		}
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for "not memoized"
+	}
+	return h
+}
+
+// Hash returns the structural hash of t: Equal terms hash identically, so
+// unequal hashes are an O(1) disproof of equality. Constructor-built terms
+// answer from the memo; hand-built literals recompute without caching.
+func (t *Term) Hash() uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.hash != 0 {
+		return t.hash
+	}
+	return t.computeHash()
 }
 
 // C constructs a constant term.
-func C(v value.Value) *Term { return &Term{Kind: Const, Val: v} }
+func C(v value.Value) *Term { return (&Term{Kind: Const, Val: v}).seal() }
 
 // Str, Num, Flt, and TrueT/FalseT are constant shorthands.
 func Str(s string) *Term  { return C(value.String(s)) }
@@ -74,11 +131,11 @@ func TrueT() *Term        { return BoolT(true) }
 func FalseT() *Term       { return BoolT(false) }
 
 // V constructs a variable.
-func V(name string) *Term { return &Term{Kind: Var, Name: name} }
+func V(name string) *Term { return (&Term{Kind: Var, Name: name}).seal() }
 
 // SV constructs a collection (sequence) variable; the name excludes the
 // trailing '*'.
-func SV(name string) *Term { return &Term{Kind: SeqVar, Name: name} }
+func SV(name string) *Term { return (&Term{Kind: SeqVar, Name: name}).seal() }
 
 // F constructs a function application. SET and BAG arguments are put in
 // canonical order (SET deduplicated).
@@ -88,12 +145,12 @@ func F(functor string, args ...*Term) *Term {
 	if f == FSet || f == FBag {
 		t.Args = canonicalize(args, f == FSet)
 	}
-	return t
+	return t.seal()
 }
 
 // FV constructs an application whose head is a function variable.
 func FV(name string, args ...*Term) *Term {
-	return &Term{Kind: Fun, Functor: name, Args: args, VarHead: true}
+	return (&Term{Kind: Fun, Functor: name, Args: args, VarHead: true}).seal()
 }
 
 // Set, Bag, List, Array, TupleT are constructor shorthands.
@@ -184,8 +241,26 @@ func Compare(a, b *Term) int {
 	return 0
 }
 
-// Equal reports structural equality.
-func Equal(a, b *Term) bool { return Compare(a, b) == 0 }
+// Equal reports structural equality. Identical pointers and memoized
+// hash/size mismatches resolve in O(1); only hash-equal distinct terms pay
+// for the full structural comparison.
+func Equal(a, b *Term) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.hash != 0 && b.hash != 0 {
+		if a.hash != b.hash {
+			return false
+		}
+		if a.size != b.size {
+			return false
+		}
+	}
+	return Compare(a, b) == 0
+}
 
 // IsGround reports whether t contains no variables of any kind.
 func (t *Term) IsGround() bool {
@@ -224,8 +299,13 @@ func (t *Term) Vars(vars, seqs, funs map[string]bool) {
 }
 
 // Size returns the number of nodes in t — the paper's "number of terms in
-// a query", used to classify rules as increasing or decreasing (§4.2).
+// a query", used to classify rules as increasing or decreasing (§4.2) and
+// as the MaxTermSize guard currency. Constructor-built terms answer from
+// the memo in O(1).
 func (t *Term) Size() int {
+	if t.size > 0 {
+		return int(t.size)
+	}
 	n := 1
 	if t.Kind == Fun {
 		for _, a := range t.Args {
@@ -315,6 +395,11 @@ func (b *Bindings) BindFun(name, functor string) {
 
 // Mark returns the current trail position for later Restore.
 func (b *Bindings) Mark() int { return len(b.trail) }
+
+// Reset empties the binding set in place, retaining the allocated maps and
+// trail so one Bindings can be reused across many match attempts (the
+// rewrite engine's scratch pool). Equivalent to Restore(0).
+func (b *Bindings) Reset() { b.Restore(0) }
 
 // Restore undoes all bindings made after the given mark.
 func (b *Bindings) Restore(mark int) {

@@ -23,7 +23,9 @@ func At(t *Term, path Path) *Term {
 }
 
 // ReplaceAt returns a copy of t with the subterm at path replaced. The
-// original term is unchanged; unaffected subtrees are shared.
+// original term is unchanged; unaffected subtrees are shared. Only the
+// spine from the root to the replaced node is rebuilt, and each rebuilt
+// node's hash/size memo is recomputed from its (memoized) children.
 func ReplaceAt(t *Term, path Path, repl *Term) *Term {
 	if len(path) == 0 {
 		return repl
@@ -35,8 +37,18 @@ func ReplaceAt(t *Term, path Path, repl *Term) *Term {
 	args := make([]*Term, len(t.Args))
 	copy(args, t.Args)
 	args[i] = ReplaceAt(t.Args[i], path[1:], repl)
+	return rebuildFun(t, args)
+}
+
+// rebuildFun constructs a Fun node like t but with new arguments,
+// preserving the VarHead flag and keeping the hash/size memo valid (F
+// seals before VarHead is known, so a VarHead copy must be resealed).
+func rebuildFun(t *Term, args []*Term) *Term {
 	nt := F(t.Functor, args...)
-	nt.VarHead = t.VarHead
+	if t.VarHead {
+		nt.VarHead = true
+		nt.seal()
+	}
 	return nt
 }
 
@@ -91,9 +103,7 @@ func Rewrite(t *Term, fn func(*Term) *Term) *Term {
 			}
 		}
 		if changed {
-			nt := F(t.Functor, args...)
-			nt.VarHead = t.VarHead
-			t = nt
+			t = rebuildFun(t, args)
 		}
 	}
 	return fn(t)

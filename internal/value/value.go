@@ -266,6 +266,69 @@ func Compare(a, b Value) int {
 // Equal reports deep structural equality under the Compare order.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a constants for Hash (and term-structure hashing built on it).
+const (
+	HashOffset = 14695981039346656037
+	HashPrime  = 1099511628211
+)
+
+// HashUint folds one 64-bit word into an FNV-1a state.
+func HashUint(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= HashPrime
+		x >>= 8
+	}
+	return h
+}
+
+// HashString folds a string into an FNV-1a state.
+func HashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= HashPrime
+	}
+	return h
+}
+
+// Hash returns a structural hash consistent with Compare: values for which
+// Compare returns 0 hash identically. Ints and reals hash by float64
+// magnitude (5 and 5.0 collide, mirroring Compare's numeric equality and
+// Key's encoding); -0.0 is normalised to 0.0 for the same reason.
+func (v Value) Hash() uint64 {
+	h := uint64(HashOffset)
+	if f, ok := v.AsFloat(); ok {
+		if f == 0 {
+			f = 0 // fold -0.0 into +0.0, which Compare treats as equal
+		}
+		return HashUint(HashString(h, "f"), math.Float64bits(f))
+	}
+	h = HashUint(h, uint64(v.K))
+	switch v.K {
+	case KNull:
+	case KBool:
+		if v.B {
+			h = HashUint(h, 1)
+		}
+	case KString:
+		h = HashString(h, v.S)
+	case KOID:
+		h = HashUint(h, uint64(v.OID))
+	case KTuple, KSet, KBag, KList, KArray:
+		h = HashUint(h, uint64(len(v.Elems)))
+		for _, e := range v.Elems {
+			h = HashUint(h, e.Hash())
+		}
+		if v.K == KTuple {
+			for _, n := range v.Names {
+				h = HashString(h, n)
+				h = HashUint(h, uint64(len(n)))
+			}
+		}
+	}
+	return h
+}
+
 // Key returns a canonical string encoding of v, usable as a hash-map key
 // (e.g. by the engine's hash join and duplicate elimination).
 func (v Value) Key() string {

@@ -128,6 +128,10 @@ var (
 	// WithPlanning enables the §7 planning-hint extension: join operands
 	// reorder by estimated cardinality, smallest first.
 	WithPlanning = core.WithPlanning
+	// WithFullScan disables the head-discrimination rule index and uses
+	// the naive walk-per-rule match loop (identical results; see
+	// docs/PERF.md). Kept as a differential-testing oracle.
+	WithFullScan = core.WithFullScan
 	// WithRuleCheck statically verifies the assembled rule base at
 	// construction time: error-level findings refuse the rule base,
 	// advisory findings are kept on Rewriter.CheckDiagnostics. See
