@@ -4,18 +4,31 @@
 // join pairs, tuples emitted, predicate evaluations, fixpoint iterations)
 // plus wall-clock time.
 //
-// Usage: benchrunner [-e 1,4,7] [-json] [-cpuprofile f] [-memprofile f]
+// Usage: benchrunner [-e 1,4,7] [-json] [-metrics-addr :9090]
+//
+//	[-cpuprofile f] [-memprofile f]
 //
 // With -json the tables are emitted as one JSON document that also
 // records provenance — the git commit the binary was built from and a
 // fingerprint of the parsed built-in rule base — so archived runs can be
-// traced to the exact rules that produced them.
+// traced to the exact rules that produced them. Each table row then also
+// carries the observability snapshot of the queries behind it: per-phase
+// wall time, rewrite match/check/application counts, and the engine's
+// per-operator execution statistics (docs/OBSERVABILITY.md).
+//
+// With -metrics-addr the accumulated session metrics are served over
+// HTTP (Prometheus text at /metrics, JSON with ?format=json) for the
+// duration of the run; the runner self-scrapes the endpoint on exit and
+// fails if the scrape does.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
@@ -36,6 +49,27 @@ type experiment struct {
 	Claim   string     `json:"claim"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
+	// RowMetrics[i] holds the observability snapshots of the measured
+	// queries that produced Rows[i] (JSON mode only).
+	RowMetrics [][]*queryMetrics `json:"rowMetrics,omitempty"`
+}
+
+// queryMetrics is the per-query observability snapshot embedded in -json
+// rows: phase wall times, rewrite work, and the per-operator execution
+// statistics tree.
+type queryMetrics struct {
+	Query           string          `json:"query"`
+	Rows            int             `json:"rows"`
+	ParseMs         float64         `json:"parseMs"`
+	TranslateMs     float64         `json:"translateMs"`
+	RewriteMs       float64         `json:"rewriteMs"`
+	ExecuteMs       float64         `json:"executeMs"`
+	ConditionChecks int             `json:"conditionChecks"`
+	MatchAttempts   int             `json:"matchAttempts"`
+	Applications    int             `json:"applications"`
+	Degraded        bool            `json:"degraded,omitempty"`
+	Counters        engine.Counters `json:"counters"`
+	Exec            *engine.OpStats `json:"exec,omitempty"`
 }
 
 // recorder collects experiment tables; in text mode it also prints them
@@ -43,17 +77,40 @@ type experiment struct {
 type recorder struct {
 	jsonMode    bool
 	experiments []*experiment
+	// pending holds the queryMetrics gathered by measure since the last
+	// row() call; row() attaches them to the row it emits.
+	pending []*queryMetrics
 }
 
 var rec recorder
 
+// obsv is the process-wide observer: every measured session shares it, so
+// the -metrics-addr endpoint reports the whole run.
+var obsv = lera.NewObserver()
+
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
 	asJSON := flag.Bool("json", false, "emit results as JSON with commit and rule-base provenance")
+	metricsAddr := flag.String("metrics-addr", "", "serve run metrics over HTTP at this address (Prometheus text at /metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	rec.jsonMode = *asJSON
+	scrapeURL := ""
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: -metrics-addr:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obsv.Metrics.Handler())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		scrapeURL = "http://" + ln.Addr().String() + "/metrics"
+		fmt.Fprintln(os.Stderr, "benchrunner: serving metrics at "+scrapeURL)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -116,6 +173,28 @@ func main() {
 	if rec.jsonMode {
 		emitJSON()
 	}
+	if scrapeURL != "" {
+		selfScrape(scrapeURL)
+	}
+}
+
+// selfScrape fetches the run's own metrics endpoint, echoing the payload
+// to stderr; a failed or empty scrape fails the run, so CI smoke tests
+// catch a broken exposition path.
+func selfScrape(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner: metrics self-scrape:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK || len(body) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: metrics self-scrape: status=%d err=%v bytes=%d\n", resp.StatusCode, err, len(body))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrunner: metrics self-scrape ok (%d bytes)\n", len(body))
+	os.Stderr.Write(body)
 }
 
 // emitJSON writes the collected tables with provenance.
@@ -236,16 +315,47 @@ func randGraph(n, e int) [][2]int {
 // degraded rewrite (guard fallback) is flagged so that no experiment
 // silently reports fallback-plan numbers as optimized ones.
 func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Duration) {
+	s.Obs = obsv
+	if rec.jsonMode {
+		s.DB.CollectStats = true
+	}
 	s.DB.ResetCounters()
 	start := time.Now()
 	res, err := s.Query(q)
 	if err != nil {
 		panic(err)
 	}
-	if res.Stats != nil && res.Stats.Degraded {
-		fmt.Fprintf(os.Stderr, "benchrunner: degraded rewrite for %q: %s\n", q, res.Stats.DegradationReason)
+	d := time.Since(start)
+	if st := res.RewriteStats(); st.Degraded {
+		fmt.Fprintf(os.Stderr, "benchrunner: degraded rewrite for %q: %s\n", q, st.DegradationReason)
 	}
-	return res, s.DB.Count, time.Since(start)
+	if rec.jsonMode {
+		rec.pending = append(rec.pending, newQueryMetrics(q, res))
+	}
+	return res, s.DB.Count, d
+}
+
+// newQueryMetrics snapshots one measured query's observability record.
+func newQueryMetrics(q string, res *lera.Result) *queryMetrics {
+	st := res.RewriteStats()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	m := &queryMetrics{
+		Query:           q,
+		Rows:            len(res.Rows),
+		ConditionChecks: st.ConditionChecks,
+		MatchAttempts:   st.MatchAttempts,
+		Applications:    st.Applications,
+		Degraded:        st.Degraded,
+	}
+	if rep := res.Report; rep != nil {
+		m.ParseMs = ms(rep.Phases.Parse)
+		m.TranslateMs = ms(rep.Phases.Translate)
+		m.RewriteMs = ms(rep.Phases.Rewrite)
+		m.ExecuteMs = ms(rep.Phases.Execute)
+		m.Counters = rep.ExecCounters
+		m.Exec = rep.Exec
+	}
+	return m
 }
 
 func header(title, claim, cols string) {
@@ -275,7 +385,10 @@ func row(format string, args ...any) {
 		cells[i] = strings.TrimSpace(c)
 	}
 	e.Rows = append(e.Rows, cells)
-	if !rec.jsonMode {
+	if rec.jsonMode {
+		e.RowMetrics = append(e.RowMetrics, rec.pending)
+		rec.pending = nil
+	} else {
 		fmt.Println(line)
 	}
 }
@@ -505,10 +618,7 @@ func e7BlockLimits() {
 		for _, limit := range []int{0, 1, 2, 4, 8, 16, 64, rules.Infinite} {
 			s := edgeGraph(chain(n), limitOpts(limit)...)
 			res, c, _ := measure(s, tc.q)
-			checks := 0
-			if res.Stats != nil {
-				checks = res.Stats.ConditionChecks
-			}
+			checks := res.RewriteStats().ConditionChecks
 			lim := strconv.Itoa(limit)
 			if limit == rules.Infinite {
 				lim = "inf"
@@ -604,13 +714,10 @@ block(spinb, {spin}, inf);
 			panic(err)
 		}
 		d := time.Since(start)
-		degraded, reason, checks := false, "-", 0
-		if res.Stats != nil {
-			degraded = res.Stats.Degraded
-			checks = res.Stats.ConditionChecks
-			if degraded {
-				reason = firstWords(res.Stats.DegradationReason, 4)
-			}
+		st := res.RewriteStats()
+		degraded, reason, checks := st.Degraded, "-", st.ConditionChecks
+		if degraded {
+			reason = firstWords(st.DegradationReason, 4)
 		}
 		row("%d | %v | %s | %d | %d | %s", cap, degraded, reason, checks, len(res.Rows), round(d))
 	}

@@ -5,6 +5,8 @@
 //	\rewrite on|off  toggle the rewriter
 //	\plan on|off     print translated/rewritten LERA for each query
 //	\counters        show and reset engine work counters
+//	\trace on|off    record and print a span trace for each query
+//	\metrics         print the session metrics (Prometheus text form)
 //	\films           load the paper's Figure 2-5 example database
 //	\tables          list relations and views
 //	\check           verify the rule base (lint + differential testing)
@@ -41,6 +43,7 @@ func main() {
 
 	s := lera.NewSession()
 	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
+	s.Obs = lera.NewObserver()
 	showPlan := true
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -91,6 +94,15 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 			*showPlan = fields[1] == "on"
 		}
 		fmt.Println("plan:", *showPlan)
+	case "\\trace":
+		if len(fields) > 1 {
+			s.Obs.Trace = fields[1] == "on"
+		}
+		fmt.Println("trace:", s.Obs.Trace)
+	case "\\metrics":
+		if err := s.Obs.Metrics.WritePrometheus(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "\\counters":
 		c := s.DB.Count
 		fmt.Printf("scanned=%d joinPairs=%d emitted=%d predEvals=%d fixIterations=%d\n",
@@ -108,7 +120,7 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 	case "\\check":
 		check(s)
 	case "\\help":
-		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\counters \\films \\tables \\check")
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check")
 	default:
 		fmt.Println("unknown meta-command (try \\help)")
 	}
@@ -155,8 +167,11 @@ func run(s *lera.Session, showPlan bool, src string) {
 				fmt.Println("rewritten: ", lera.Format(r.Rewritten))
 			}
 		}
-		if r.Stats != nil && r.Stats.Degraded {
-			fmt.Println("notice: rewrite degraded, answered from fallback plan —", r.Stats.DegradationReason)
+		if st := r.RewriteStats(); st.Degraded {
+			fmt.Println("notice: rewrite degraded, answered from fallback plan —", st.DegradationReason)
+		}
+		if r.Kind == lera.ResultRows && r.Report != nil && r.Report.Trace != nil {
+			fmt.Print("trace:\n", lera.FormatTrace(r.Report.Trace, true))
 		}
 		fmt.Println(lera.FormatResult(r))
 	}

@@ -1,0 +1,110 @@
+package core
+
+// EXPLAIN [ANALYZE] — the human-facing surface of the observability
+// layer (docs/OBSERVABILITY.md). Plain EXPLAIN translates and rewrites
+// the query with tracing forced on, so the per-block rewrite spans and
+// rule-application events show, but does not execute it. EXPLAIN ANALYZE
+// runs the full pipeline with per-operator statistics collection and
+// reports measured timings, row counts and per-round fixpoint deltas.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"lera/internal/esql"
+	"lera/internal/lera"
+	"lera/internal/obs"
+	"lera/internal/translate"
+)
+
+// ExplainCtx executes one EXPLAIN [ANALYZE] statement. The rendered
+// report is on Result.Message; the structured form on Result.Report.
+func (s *Session) ExplainCtx(ctx context.Context, ex *esql.Explain) (*Result, error) {
+	if ex.Analyze {
+		res, err := s.execSelect(ctx, ex.Sel, true)
+		if err != nil {
+			return res, err
+		}
+		res.Kind = ResultExplain
+		res.Message = renderExplain(res, true)
+		return res, nil
+	}
+
+	// Plain EXPLAIN: translate + rewrite under a dedicated recorder,
+	// skip execution entirely.
+	rec := obs.NewRecorder("query")
+	ctx = obs.NewContext(ctx, rec)
+	rep := &QueryReport{}
+
+	tSpan := rec.Begin("translate")
+	t0 := time.Now()
+	q, err := translate.Select(s.Cat, ex.Sel)
+	rec.End(tSpan)
+	rep.Phases.Translate = time.Since(t0)
+	if err != nil {
+		s.obsQueryDone(nil, err)
+		return nil, err
+	}
+	res := &Result{Kind: ResultExplain, Initial: q, Rewritten: q, Report: rep}
+	if s.Rewrite {
+		rSpan := rec.Begin("rewrite")
+		t0 = time.Now()
+		res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
+		rec.End(rSpan)
+		rep.Phases.Rewrite = time.Since(t0)
+		st := res.RewriteStats()
+		rSpan.SetAttrs(
+			obs.Int("checks", st.ConditionChecks),
+			obs.Int("applications", st.Applications),
+			obs.Int("rounds", st.Rounds))
+	}
+	rep.Trace = rec.Finish()
+	res.Message = renderExplain(res, false)
+	return res, nil
+}
+
+// renderExplain builds the textual EXPLAIN report. With analyze false the
+// output carries no durations, so it is deterministic for a fixed catalog
+// and rule base.
+func renderExplain(res *Result, analyze bool) string {
+	var sb strings.Builder
+	indented := func(text string) {
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			sb.WriteString("  ")
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("plan (translated):\n")
+	indented(lera.Format(res.Initial))
+	sb.WriteString("plan (rewritten):\n")
+	indented(lera.Format(res.Rewritten))
+	st := res.RewriteStats()
+	fmt.Fprintf(&sb, "rewrite: applications=%d condition_checks=%d match_attempts=%d rounds=%d\n",
+		st.Applications, st.ConditionChecks, st.MatchAttempts, st.Rounds)
+	if st.Degraded {
+		fmt.Fprintf(&sb, "rewrite degraded: %s\n", st.DegradationReason)
+	}
+	rep := res.Report
+	if rep != nil && rep.Exec != nil {
+		sb.WriteString("execution:\n")
+		for _, c := range rep.Exec.Children {
+			indented(c.Format(analyze))
+		}
+	}
+	if rep != nil && rep.Trace != nil {
+		sb.WriteString("trace:\n")
+		indented(obs.FormatTree(rep.Trace, analyze))
+	}
+	if analyze && rep != nil {
+		fmt.Fprintf(&sb, "timings: parse=%s translate=%s rewrite=%s execute=%s\n",
+			rep.Phases.Parse.Round(time.Microsecond),
+			rep.Phases.Translate.Round(time.Microsecond),
+			rep.Phases.Rewrite.Round(time.Microsecond),
+			rep.Phases.Execute.Round(time.Microsecond))
+		fmt.Fprintf(&sb, "result: %d rows", len(res.Rows))
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lera/internal/engine"
+	"lera/internal/esql"
+)
+
+// explainOf runs one EXPLAIN statement through the full Exec path (so the
+// parser dispatch is covered too) and returns the single result.
+func explainOf(t *testing.T, s *Session, stmt string) *Result {
+	t.Helper()
+	rs, err := s.Exec(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	if rs[0].Kind != ResultExplain {
+		t.Fatalf("kind = %v, want ResultExplain", rs[0].Kind)
+	}
+	return rs[0]
+}
+
+func TestExplainWithoutAnalyze(t *testing.T) {
+	s := filmsSession(t)
+	res := explainOf(t, s, "EXPLAIN "+strings.TrimSpace(strings.TrimRight(strings.TrimSpace(esql.Figure3Query), ";"))+";")
+	msg := res.Message
+	for _, want := range []string{
+		"plan (translated):",
+		"plan (rewritten):",
+		"rewrite: applications=",
+		"trace:",
+		"rewrite.block block=merge",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, msg)
+		}
+	}
+	// No execution happened: no exec section, no rows, no timings.
+	if strings.Contains(msg, "execution:") || strings.Contains(msg, "timings:") {
+		t.Errorf("plain EXPLAIN must not execute:\n%s", msg)
+	}
+	if res.Rows != nil {
+		t.Error("plain EXPLAIN returned rows")
+	}
+	// Determinism: the untimed report is identical across fresh sessions.
+	s2 := filmsSession(t)
+	res2 := explainOf(t, s2, "EXPLAIN "+strings.TrimSpace(strings.TrimRight(strings.TrimSpace(esql.Figure3Query), ";"))+";")
+	if res.Message != res2.Message {
+		t.Errorf("EXPLAIN not deterministic:\n--- first\n%s\n--- second\n%s", res.Message, res2.Message)
+	}
+}
+
+// TestExplainAnalyzeCorpus is the CI corpus gate: EXPLAIN ANALYZE over
+// the Figure 3 join query and the Figure 5 recursive query must show
+// per-block rewrite spans, per-operator row counts, and — for the
+// recursive query — per-round fixpoint deltas under both evaluation
+// modes, with a non-empty ExecStats tree.
+func TestExplainAnalyzeCorpus(t *testing.T) {
+	fig3 := "EXPLAIN ANALYZE " + strings.TrimSpace(strings.TrimRight(strings.TrimSpace(esql.Figure3Query), ";")) + ";"
+	fig5 := "EXPLAIN ANALYZE " + strings.TrimSpace(strings.TrimRight(strings.TrimSpace(esql.Figure5Query), ";")) + ";"
+
+	t.Run("figure3", func(t *testing.T) {
+		s := filmsSession(t)
+		res := explainOf(t, s, fig3)
+		msg := res.Message
+		for _, want := range []string{
+			"execution:",
+			"rewrite.block block=merge",
+			"rule.apply",
+			"op.SEARCH",
+			"timings:",
+			"result: 1 rows",
+			"rows=",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("missing %q:\n%s", want, msg)
+			}
+		}
+		if res.Report == nil || res.Report.Exec == nil || len(res.Report.Exec.Children) == 0 {
+			t.Fatal("empty ExecStats on EXPLAIN ANALYZE")
+		}
+	})
+
+	for _, mode := range []struct {
+		name string
+		m    engine.FixMode
+		tag  string
+	}{
+		{"figure5-semi-naive", engine.SemiNaive, "[semi-naive]"},
+		{"figure5-naive", engine.Naive, "[naive]"},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := filmsSession(t)
+			s.DB.Mode = mode.m
+			res := explainOf(t, s, fig5)
+			msg := res.Message
+			for _, want := range []string{
+				"execution:",
+				"FIX",
+				mode.tag,
+				"· round 1:",
+				"fix.round",
+				"rows (total",
+			} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("missing %q:\n%s", want, msg)
+				}
+			}
+			fix := findStats(res.Report.Exec, "FIX")
+			if fix == nil || len(fix.Rounds) == 0 {
+				t.Fatal("FIX node missing per-round deltas")
+			}
+		})
+	}
+}
+
+func TestExplainParseErrors(t *testing.T) {
+	s := filmsSession(t)
+	if _, err := s.Exec("EXPLAIN INSERT INTO FILM VALUES (9, 'x', SET('Western'));"); err == nil {
+		t.Fatal("EXPLAIN of a non-SELECT must be a parse error")
+	}
+	if _, err := s.Exec("EXPLAIN ANALYZE SELECT NoSuchCol FROM FILM;"); err == nil {
+		t.Fatal("EXPLAIN ANALYZE of an untranslatable query must fail")
+	}
+}

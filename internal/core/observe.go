@@ -1,0 +1,177 @@
+package core
+
+// Session-level observability (docs/OBSERVABILITY.md): per-query phase
+// timings, the span/event trace, metric updates, and the mirror of the
+// engine's per-operator ExecStats into the span tree. Everything here is
+// gated on Session.Obs — a session without an observer runs the exact
+// pre-observability code path.
+
+import (
+	"time"
+
+	"lera/internal/engine"
+	"lera/internal/obs"
+)
+
+// PhaseTimings are the wall-clock durations of the pipeline phases for
+// one query. Parse is only attributed on the QueryCtx path (batch parsing
+// in ExecCtx covers many statements at once and is recorded in the
+// lera_parse_seconds histogram instead).
+type PhaseTimings struct {
+	Parse     time.Duration `json:"parseNs"`
+	Translate time.Duration `json:"translateNs"`
+	Rewrite   time.Duration `json:"rewriteNs"`
+	Execute   time.Duration `json:"executeNs"`
+}
+
+// QueryReport is the per-query observability record, attached to
+// Result.Report whenever the session has an observer (and always for
+// EXPLAIN ANALYZE). Trace and Exec are populated only when tracing /
+// statistics collection were on for the query.
+type QueryReport struct {
+	Phases PhaseTimings
+	// Trace is the completed span tree: parse -> translate ->
+	// rewrite.round/rewrite.block -> execute -> op.* (nil unless traced).
+	Trace *obs.Span
+	// Exec is the engine's per-operator statistics tree (nil unless
+	// collected). The root is the synthetic "eval" node.
+	Exec *engine.OpStats
+	// ExecCounters is the engine work-counter delta for this query alone
+	// (the flat totals, present whenever the report is).
+	ExecCounters engine.Counters
+}
+
+// Metric names (see docs/OBSERVABILITY.md for the full inventory).
+const (
+	mQueries       = "lera_queries_total"
+	mStatements    = "lera_statements_total"
+	mErrors        = "lera_query_errors_total"
+	mDegraded      = "lera_rewrite_degraded_total"
+	mChecks        = "lera_rewrite_condition_checks_total"
+	mAttempts      = "lera_rewrite_match_attempts_total"
+	mApplications  = "lera_rule_applications_total"
+	mScanned       = "lera_exec_rows_scanned_total"
+	mJoinPairs     = "lera_exec_join_pairs_total"
+	mEmitted       = "lera_exec_rows_emitted_total"
+	mPredEvals     = "lera_exec_pred_evals_total"
+	mFixIters      = "lera_exec_fixpoint_iterations_total"
+	mRowsReturned  = "lera_rows_returned_total"
+	mCatRelations  = "lera_catalog_relations"
+	mCatViews      = "lera_catalog_views"
+	hParseSeconds  = "lera_parse_seconds"
+	hTransSeconds  = "lera_translate_seconds"
+	hRewSeconds    = "lera_rewrite_seconds"
+	hExecSeconds   = "lera_execute_seconds"
+	hQueryRows     = "lera_query_rows"
+	hRewriteChecks = "lera_rewrite_checks"
+)
+
+// obsParse records one parse phase (batch or single-query).
+func (s *Session) obsParse(d time.Duration, err error) {
+	if s.Obs == nil {
+		return
+	}
+	m := s.Obs.Metrics
+	m.Histogram(hParseSeconds, "ESQL parse wall time per Parse call.", obs.DefaultDurationBuckets).Observe(d.Seconds())
+	if err != nil {
+		m.Counter(mErrors, "Queries and statements that returned an error.").Inc()
+	}
+}
+
+// obsStatement counts one executed statement.
+func (s *Session) obsStatement() {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Metrics.Counter(mStatements, "ESQL statements executed (DDL, INSERT and queries).").Inc()
+}
+
+// obsCatalog refreshes the catalog-size gauges after a DDL statement.
+func (s *Session) obsCatalog() {
+	if s.Obs == nil {
+		return
+	}
+	m := s.Obs.Metrics
+	m.Gauge(mCatRelations, "Relations currently declared in the catalog.").Set(int64(len(s.Cat.RelationNames())))
+	m.Gauge(mCatViews, "Views currently declared in the catalog.").Set(int64(len(s.Cat.ViewNames())))
+}
+
+// obsQueryDone folds one finished SELECT into the metrics registry.
+func (s *Session) obsQueryDone(res *Result, execErr error) {
+	if s.Obs == nil {
+		return
+	}
+	m := s.Obs.Metrics
+	m.Counter(mQueries, "SELECT queries executed.").Inc()
+	if execErr != nil {
+		m.Counter(mErrors, "Queries and statements that returned an error.").Inc()
+	}
+	if res == nil {
+		return
+	}
+	st := res.RewriteStats()
+	m.Counter(mChecks, "Rewrite condition checks, the §4.2 budget currency.").Add(int64(st.ConditionChecks))
+	m.Counter(mAttempts, "Backtracking-matcher invocations (what the rule index shrinks).").Add(int64(st.MatchAttempts))
+	m.Counter(mApplications, "Committed rule applications.").Add(int64(st.Applications))
+	m.Histogram(hRewriteChecks, "Condition checks per query.", obs.DefaultCountBuckets).Observe(float64(st.ConditionChecks))
+	if st.Degraded {
+		m.Counter(mDegraded, "Queries answered from the guard fallback plan.").Inc()
+	}
+	m.Counter(mRowsReturned, "Rows returned to clients.").Add(int64(len(res.Rows)))
+	m.Histogram(hQueryRows, "Rows returned per query.", obs.DefaultCountBuckets).Observe(float64(len(res.Rows)))
+	if rep := res.Report; rep != nil {
+		c := rep.ExecCounters
+		m.Counter(mScanned, "Rows read from stored relations.").Add(int64(c.Scanned))
+		m.Counter(mJoinPairs, "Rows produced by join steps before filtering.").Add(int64(c.JoinPairs))
+		m.Counter(mEmitted, "Rows emitted by relational operators.").Add(int64(c.Emitted))
+		m.Counter(mPredEvals, "Qualification conjuncts evaluated against rows.").Add(int64(c.PredEvals))
+		m.Counter(mFixIters, "Fixpoint rounds executed.").Add(int64(c.FixIterations))
+		m.Histogram(hTransSeconds, "Translate wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Translate.Seconds())
+		m.Histogram(hRewSeconds, "Rewrite wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Rewrite.Seconds())
+		m.Histogram(hExecSeconds, "Execute wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Execute.Seconds())
+	}
+}
+
+// execSpan mirrors one ExecStats node as a span, so the trace carries the
+// full parse -> translate -> rewrite-per-block -> execute-per-operator
+// hierarchy. Fixpoint rounds become events on the FIX span.
+func execSpan(op *engine.OpStats) *obs.Span {
+	sp := &obs.Span{Name: "op." + op.Op, Duration: op.Duration}
+	if op.Detail != "" {
+		sp.Attrs = append(sp.Attrs, obs.Str("detail", op.Detail))
+	}
+	sp.Attrs = append(sp.Attrs, obs.Int("rows", op.Rows))
+	for _, r := range op.Rounds {
+		sp.Events = append(sp.Events, obs.Event{Kind: "fix.round", Attrs: []obs.KV{
+			obs.Int("round", r.Round), obs.Int("delta", r.Delta), obs.Int("total", r.Total),
+		}})
+	}
+	for _, c := range op.Children {
+		sp.AddChild(execSpan(c))
+	}
+	sp.TruncatedChildren += op.Truncated
+	return sp
+}
+
+// attachExecSpans hangs the operator spans of an ExecStats tree under the
+// execute span (skipping the synthetic "eval" root).
+func attachExecSpans(execute *obs.Span, root *engine.OpStats) {
+	if execute == nil || root == nil {
+		return
+	}
+	for _, c := range root.Children {
+		execute.AddChild(execSpan(c))
+	}
+}
+
+// counterDelta returns the engine work done between two Counters
+// snapshots, attributing the flat totals to a single query.
+func counterDelta(before, after engine.Counters) engine.Counters {
+	return engine.Counters{
+		Scanned:       after.Scanned - before.Scanned,
+		JoinPairs:     after.JoinPairs - before.JoinPairs,
+		Emitted:       after.Emitted - before.Emitted,
+		PredEvals:     after.PredEvals - before.PredEvals,
+		FixIterations: after.FixIterations - before.FixIterations,
+	}
+}

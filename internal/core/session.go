@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"lera/internal/catalog"
 	"lera/internal/engine"
 	"lera/internal/esql"
 	"lera/internal/guard"
 	"lera/internal/lera"
+	"lera/internal/obs"
 	"lera/internal/rewrite"
 	"lera/internal/rulecheck"
 	"lera/internal/term"
@@ -35,6 +37,13 @@ type Session struct {
 	// that burns its whole budget still leaves the fallback plan time to
 	// run.
 	Limits guard.Limits
+
+	// Obs is the session's observability sink (see internal/obs and
+	// docs/OBSERVABILITY.md): nil disables the layer entirely; with an
+	// observer, pipeline metrics accumulate in Obs.Metrics and — when
+	// Obs.Trace is on — every query carries a span/event trace and
+	// per-operator execution statistics on Result.Report.
+	Obs *obs.Observer
 }
 
 // NewSession creates a session with an empty catalog and database.
@@ -71,6 +80,9 @@ const (
 	ResultDDL ResultKind = iota
 	ResultInsert
 	ResultRows
+	// ResultExplain is the outcome of EXPLAIN [ANALYZE]: Message holds
+	// the rendered plan/report, Report the structured form.
+	ResultExplain
 )
 
 // Result is the outcome of executing one statement.
@@ -83,7 +95,30 @@ type Result struct {
 	Rows      [][]value.Value
 	Initial   *term.Term // translated LERA before rewriting
 	Rewritten *term.Term
-	Stats     *rewrite.Stats
+
+	// Stats carries the rewrite statistics of a query. The contract:
+	// Stats is non-nil only for ResultRows/ResultExplain results of a
+	// session with rewriting enabled — DDL and INSERT statements never
+	// rewrite, and a query run with Session.Rewrite=false has nothing to
+	// report. Callers should not nil-check ad hoc; use RewriteStats,
+	// which is total.
+	Stats *rewrite.Stats
+
+	// Report is the per-query observability record (phase timings, span
+	// trace, per-operator execution statistics). Non-nil whenever the
+	// session has an observer, and always for EXPLAIN ANALYZE.
+	Report *QueryReport
+}
+
+// RewriteStats returns the rewrite statistics by value, with the zero
+// Stats standing in for "no rewrite ran" (DDL, INSERT, rewriting
+// disabled, nil result). This is the accessor shells and harnesses use
+// instead of nil-checking Result.Stats.
+func (r *Result) RewriteStats() rewrite.Stats {
+	if r == nil || r.Stats == nil {
+		return rewrite.Stats{}
+	}
+	return *r.Stats
 }
 
 // Exec parses and executes a sequence of ESQL statements with no
@@ -95,7 +130,9 @@ func (s *Session) Exec(src string) ([]*Result, error) {
 // ExecCtx parses and executes a sequence of ESQL statements under a
 // cancellation context.
 func (s *Session) ExecCtx(ctx context.Context, src string) ([]*Result, error) {
+	t0 := time.Now()
 	stmts, err := esql.Parse(src)
+	s.obsParse(time.Since(t0), err)
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +161,26 @@ func (s *Session) Query(src string) (*Result, error) {
 	return s.QueryCtx(context.Background(), src)
 }
 
-// QueryCtx executes a single SELECT under a cancellation context.
+// QueryCtx executes a single SELECT under a cancellation context. When
+// the session traces, the recorder is opened here so the span tree also
+// covers the parse phase.
 func (s *Session) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	rec := s.Obs.Recorder("query")
+	ctx = obs.NewContext(ctx, rec)
+	pSpan := rec.Begin("parse")
+	t0 := time.Now()
 	q, err := esql.ParseQuery(src)
+	parseDur := time.Since(t0)
+	rec.End(pSpan)
+	s.obsParse(parseDur, err)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecSelectCtx(ctx, q)
+	res, err := s.ExecSelectCtx(ctx, q)
+	if res != nil && res.Report != nil {
+		res.Report.Phases.Parse = parseDur
+	}
+	return res, err
 }
 
 // ExecStmt executes one parsed statement with no cancellation.
@@ -140,18 +190,21 @@ func (s *Session) ExecStmt(st esql.Stmt) (*Result, error) {
 
 // ExecStmtCtx executes one parsed statement under a cancellation context.
 func (s *Session) ExecStmtCtx(ctx context.Context, st esql.Stmt) (*Result, error) {
+	s.obsStatement()
 	switch d := st.(type) {
 	case *esql.TypeDecl:
 		if err := translate.DeclareType(s.Cat, d); err != nil {
 			return nil, err
 		}
 		s.stale = true
+		s.obsCatalog()
 		return &Result{Kind: ResultDDL, Message: fmt.Sprintf("type %s declared", d.Name)}, nil
 	case *esql.TableDecl:
 		if err := translate.DeclareTable(s.Cat, d); err != nil {
 			return nil, err
 		}
 		s.stale = true
+		s.obsCatalog()
 		return &Result{Kind: ResultDDL, Message: fmt.Sprintf("table %s declared", d.Name)}, nil
 	case *esql.ViewDecl:
 		v, err := translate.DeclareView(s.Cat, d)
@@ -159,6 +212,7 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st esql.Stmt) (*Result, error
 			return nil, err
 		}
 		s.stale = true
+		s.obsCatalog()
 		kind := "view"
 		if v.Recursive {
 			kind = "recursive view"
@@ -177,6 +231,8 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st esql.Stmt) (*Result, error
 		return &Result{Kind: ResultInsert, Message: fmt.Sprintf("%d rows inserted into %s", len(rows), name)}, nil
 	case *esql.Select:
 		return s.ExecSelectCtx(ctx, d)
+	case *esql.Explain:
+		return s.ExplainCtx(ctx, d)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", st)
 }
@@ -199,13 +255,51 @@ func (s *Session) ExecSelect(sel *esql.Select) (*Result, error) {
 // but the Result is returned alongside them so callers can see which
 // plan was running.
 func (s *Session) ExecSelectCtx(ctx context.Context, sel *esql.Select) (*Result, error) {
+	return s.execSelect(ctx, sel, false)
+}
+
+// execSelect is the shared SELECT path behind ExecSelectCtx and EXPLAIN
+// ANALYZE. With analyze set, tracing and per-operator statistics
+// collection are forced on for this one query even if the session
+// observer has them off (or the session has no observer at all).
+func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool) (*Result, error) {
+	rec := obs.FromContext(ctx)
+	if rec == nil && (analyze || (s.Obs != nil && s.Obs.Trace)) {
+		rec = obs.NewRecorder("query")
+		ctx = obs.NewContext(ctx, rec)
+	}
+	var rep *QueryReport
+	if s.Obs != nil || analyze {
+		rep = &QueryReport{}
+	}
+
+	tSpan := rec.Begin("translate")
+	t0 := time.Now()
 	q, err := translate.Select(s.Cat, sel)
+	rec.End(tSpan)
+	if rep != nil {
+		rep.Phases.Translate = time.Since(t0)
+	}
 	if err != nil {
+		s.obsQueryDone(nil, err)
 		return nil, err
 	}
-	res := &Result{Kind: ResultRows, Initial: q, Rewritten: q}
+	res := &Result{Kind: ResultRows, Initial: q, Rewritten: q, Report: rep}
 	if s.Rewrite {
+		rSpan := rec.Begin("rewrite")
+		t0 = time.Now()
 		res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
+		rec.End(rSpan)
+		if rep != nil {
+			rep.Phases.Rewrite = time.Since(t0)
+		}
+		if rec.Enabled() {
+			st := res.RewriteStats()
+			rSpan.SetAttrs(
+				obs.Int("checks", st.ConditionChecks),
+				obs.Int("applications", st.Applications),
+				obs.Int("rounds", st.Rounds))
+		}
 	}
 	schema, err := lera.Infer(res.Rewritten, s.Cat, nil)
 	if err == nil {
@@ -220,12 +314,42 @@ func (s *Session) ExecSelectCtx(ctx context.Context, sel *esql.Select) (*Result,
 	}
 	defer cancel()
 	s.DB.Limits = s.Limits
-	rel, err := s.DB.EvalCtx(execCtx, res.Rewritten)
-	if err != nil {
-		return res, err
+
+	collect := analyze || rec.Enabled() || s.DB.CollectStats
+	savedCollect := s.DB.CollectStats
+	if collect {
+		s.DB.CollectStats = true
+	}
+	before := s.DB.Count
+	eSpan := rec.Begin("execute")
+	t0 = time.Now()
+	rel, evalErr := s.DB.EvalCtx(execCtx, res.Rewritten)
+	rec.End(eSpan)
+	s.DB.CollectStats = savedCollect
+	if rep != nil {
+		rep.Phases.Execute = time.Since(t0)
+		rep.ExecCounters = counterDelta(before, s.DB.Count)
+		if collect {
+			rep.Exec = s.DB.LastExecStats()
+			attachExecSpans(eSpan, rep.Exec)
+		}
+	}
+	if evalErr != nil {
+		if rep != nil {
+			rep.Trace = rec.Finish()
+		}
+		s.obsQueryDone(res, evalErr)
+		return res, evalErr
 	}
 	res.Rows = rel.Rows
 	res.Message = fmt.Sprintf("%d rows", len(rel.Rows))
+	if rec.Enabled() {
+		eSpan.SetAttrs(obs.Int("rows", len(rel.Rows)))
+	}
+	if rep != nil {
+		rep.Trace = rec.Finish()
+	}
+	s.obsQueryDone(res, nil)
 	return res, nil
 }
 
@@ -253,6 +377,9 @@ func (s *Session) rewriteGuarded(ctx context.Context, q *term.Term) (*term.Term,
 	}
 	st.Degraded = true
 	st.DegradationReason = err.Error()
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Event("rewrite.degraded", obs.Str("reason", st.DegradationReason))
+	}
 	if lg := rw.LastGood(); lg != nil {
 		return lg, st
 	}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"lera/internal/catalog"
 	"lera/internal/guard"
@@ -102,19 +103,27 @@ type DB struct {
 	// each fixpoint instance. The zero value means "defaults" (see
 	// internal/guard).
 	Limits guard.Limits
+	// CollectStats enables per-operator execution statistics (stats.go):
+	// each EvalCtx builds an OpStats tree retrievable with LastExecStats.
+	// Off, evaluation pays one nil check per operator and zero
+	// allocations.
+	CollectStats bool
 
-	rels map[string]*Relation
-	g    *evalGuard // per-EvalCtx guard state (nil outside a call)
+	rels      map[string]*Relation
+	g         *evalGuard // per-EvalCtx guard state (nil outside a call)
+	lastStats *OpStats   // stats tree of the last CollectStats run
 }
 
 // evalGuard is the per-evaluation guard state: the cancellation context,
-// an amortizing tick counter for the tuple-at-a-time hot path, and the
-// cumulative materialized-row charge.
+// an amortizing tick counter for the tuple-at-a-time hot path, the
+// cumulative materialized-row charge, and the open per-operator stats
+// frame (nil unless CollectStats).
 type evalGuard struct {
 	ctx  context.Context
 	lim  guard.Limits
 	tick int
 	rows int
+	cur  *OpStats
 }
 
 // guardTickInterval amortizes context checks in the row hot path: the
@@ -233,17 +242,52 @@ func (db *DB) Eval(t *term.Term) (*Relation, error) {
 func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 	prev := db.g
 	db.g = &evalGuard{ctx: ctx, lim: db.Limits}
+	if db.CollectStats {
+		root := &OpStats{Op: "eval", Incl: db.Count}
+		db.g.cur = root
+		db.lastStats = root
+		defer func(start time.Time) {
+			// Close the root the same way statsExit closes an operator.
+			snap := root.Incl
+			root.Incl = db.Count
+			root.Incl.Scanned -= snap.Scanned
+			root.Incl.JoinPairs -= snap.JoinPairs
+			root.Incl.Emitted -= snap.Emitted
+			root.Incl.PredEvals -= snap.PredEvals
+			root.Incl.FixIterations -= snap.FixIterations
+			root.Duration = time.Since(start)
+		}(time.Now())
+	}
 	defer func() { db.g = prev }()
 	return db.eval(t, env{})
 }
 
+// eval dispatches one operator evaluation, wrapping it in a per-operator
+// stats frame when collection is on. The disabled path is the g.cur nil
+// check and a direct call — no allocation, no time syscall.
 func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
+	if g := db.g; g != nil && g.cur != nil && t.Kind == term.Fun {
+		node, parent := db.statsEnter(t.Functor)
+		start := time.Now()
+		out, err := db.evalOp(t, e)
+		db.statsExit(node, parent, start, out)
+		return out, err
+	}
+	return db.evalOp(t, e)
+}
+
+func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 	if t.Kind != term.Fun {
 		return nil, fmt.Errorf("engine: cannot evaluate %s", t)
 	}
 	switch t.Functor {
 	case "REL":
 		name := strings.ToUpper(t.Args[0].Val.S)
+		if name == strings.ToUpper(deltaName) {
+			db.setStatsDetail("(delta)")
+		} else {
+			db.setStatsDetail(name)
+		}
 		if r, ok := e[name]; ok {
 			return r, nil
 		}

@@ -37,6 +37,7 @@ func (db *DB) evalFix(t *term.Term, e env) (*Relation, error) {
 func (db *DB) fixIterCap() int { return db.Limits.FixIterations() }
 
 func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
+	db.setStatsDetail(name + " [naive]")
 	total := &Relation{}
 	seen := map[string]bool{}
 	cap := db.fixIterCap()
@@ -51,18 +52,19 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		grew := false
+		added := 0
 		next := &Relation{Rows: append([][]value.Value(nil), total.Rows...)}
 		for _, row := range r.Rows {
 			k := rowKey(row)
 			if !seen[k] {
 				seen[k] = true
 				next.Rows = append(next.Rows, row)
-				grew = true
+				added++
 			}
 		}
 		total = next
-		if !grew {
+		db.recordFixRound(iters, added, len(total.Rows))
+		if added == 0 {
 			return total, nil
 		}
 		if iters >= cap {
@@ -84,6 +86,7 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 	if !lera.IsOp(body, lera.OpUnion) {
 		return db.fixNaive(name, body, e)
 	}
+	db.setStatsDetail(name + " [semi-naive]")
 	var base, rec []*term.Term
 	for _, m := range body.Args[0].Args {
 		if refs(m) {
@@ -119,6 +122,7 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 		firstRows = append(firstRows, r.Rows...)
 	}
 	delta := add(firstRows)
+	db.recordFixRound(1, len(delta.Rows), len(total.Rows))
 
 	cap := db.fixIterCap()
 	for iters := 1; len(delta.Rows) > 0; iters++ {
@@ -145,6 +149,7 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 			}
 		}
 		delta = add(newRows)
+		db.recordFixRound(iters+1, len(delta.Rows), len(total.Rows))
 	}
 	return total, nil
 }

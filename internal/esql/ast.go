@@ -122,6 +122,16 @@ type TableRef struct {
 	Alias string // "" when absent
 }
 
+// Explain is EXPLAIN [ANALYZE] SELECT ...: show the translated and
+// rewritten LERA plan for the wrapped query; with ANALYZE, also execute
+// it and report per-operator statistics and phase timings.
+type Explain struct {
+	Analyze bool
+	Sel     *Select
+}
+
+func (*Explain) stmt() {}
+
 // InsertStmt is INSERT INTO table VALUES (...), (...), ....
 type InsertStmt struct {
 	Table string

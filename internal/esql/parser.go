@@ -110,8 +110,29 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseSelect()
 	case t.is("INSERT"):
 		return p.parseInsert()
+	case t.is("EXPLAIN"):
+		return p.parseExplain()
 	}
-	return nil, fmt.Errorf("esql: %d:%d: unexpected %q (expected TYPE, TABLE, CREATE, SELECT or INSERT)", t.line, t.col, t.text)
+	return nil, fmt.Errorf("esql: %d:%d: unexpected %q (expected TYPE, TABLE, CREATE, SELECT, INSERT or EXPLAIN)", t.line, t.col, t.text)
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] SELECT ....
+func (p *parser) parseExplain() (Stmt, error) {
+	p.advance() // EXPLAIN
+	ex := &Explain{}
+	if p.accept("ANALYZE") {
+		ex.Analyze = true
+	}
+	t := p.peek()
+	if !t.is("SELECT") {
+		return nil, fmt.Errorf("esql: %d:%d: EXPLAIN expects a SELECT, got %q", t.line, t.col, t.text)
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	ex.Sel = sel.(*Select)
+	return ex, nil
 }
 
 // parseType parses the TYPE declarations of Figure 2.

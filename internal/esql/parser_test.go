@@ -311,3 +311,32 @@ func TestParserRobustness(t *testing.T) {
 		}()
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	stmts, err := Parse("EXPLAIN SELECT Title FROM FILM WHERE Numf = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmts[0].(*Explain)
+	if !ok || ex.Analyze || ex.Sel == nil {
+		t.Fatalf("EXPLAIN parse = %+v", stmts[0])
+	}
+	stmts, err = Parse("EXPLAIN ANALYZE SELECT Title FROM FILM;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmts[0].(*Explain)
+	if !ex.Analyze || len(ex.Sel.From) != 1 {
+		t.Fatalf("EXPLAIN ANALYZE parse = %+v", ex)
+	}
+	for _, bad := range []string{
+		"EXPLAIN;",
+		"EXPLAIN ANALYZE;",
+		"EXPLAIN TABLE T (a : INT);",
+		"EXPLAIN ANALYZE INSERT INTO T VALUES (1);",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+// Exposition: the registry renders as expvar-style JSON and as Prometheus
+// text exposition format (version 0.0.4), and serves both over HTTP.
+// Exposition holds only read locks and snapshots histograms, so a scrape
+// never blocks the hot path for longer than one bucket copy.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HistogramSummary is the JSON shape of one histogram.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns the registry as a flat name->value map: counters and
+// gauges as int64, histograms as HistogramSummary.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.c.Value()
+		case kindGauge:
+			out[m.name] = m.g.Value()
+		case kindHistogram:
+			out[m.name] = HistogramSummary{
+				Count: m.h.Count(), Sum: m.h.Sum(),
+				P50: m.h.Quantile(0.50), P95: m.h.Quantile(0.95), P99: m.h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the registry as one sorted-key JSON object, the same
+// shape expvar would publish.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ExpvarFunc adapts the registry to an expvar.Func, for callers that want
+// the standard /debug/vars page to carry these metrics:
+//
+//	expvar.Publish("lera", reg.ExpvarFunc())
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any { return r.Snapshot() }
+}
+
+// promEscape escapes a help string for the Prometheus text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, promEscape(m.help)); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", m.name)
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", m.name)
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
+			bounds, counts, count, sum := m.h.snapshot()
+			var cum uint64
+			for i, b := range bounds {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
+			fmt.Fprintf(w, "%s_sum %v\n", m.name, sum)
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.name, count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a bucket bound the way Prometheus clients expect
+// (shortest representation, no exponent for small values).
+func formatFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", f), "0"), ".")
+}
+
+// Handler serves the registry over HTTP: Prometheus text at the request
+// path (conventionally /metrics), expvar-style JSON when the client asks
+// with ?format=json or an Accept: application/json header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

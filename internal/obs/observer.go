@@ -1,0 +1,30 @@
+package obs
+
+// Observer is the session-level observability configuration: a metrics
+// registry that outlives individual queries, and a switch for per-query
+// trace recording. A nil *Observer disables the whole layer; a non-nil
+// observer with Trace=false keeps metrics only (the common production
+// setting — counters are atomics, traces allocate).
+type Observer struct {
+	// Metrics receives pipeline counters, gauges and histograms. Never
+	// nil on an Observer built with NewObserver.
+	Metrics *Registry
+	// Trace enables per-query span/event recording. The resulting tree
+	// lands on the query's Result (core.Result.Report).
+	Trace bool
+}
+
+// NewObserver returns an observer with a fresh metrics registry and
+// tracing off.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry()}
+}
+
+// Recorder returns a new per-query recorder when tracing is on, else nil
+// (which every downstream hook treats as "off"). Nil-safe.
+func (o *Observer) Recorder(rootName string) *Recorder {
+	if o == nil || !o.Trace {
+		return nil
+	}
+	return NewRecorder(rootName)
+}

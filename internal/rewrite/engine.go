@@ -20,6 +20,7 @@ import (
 	"lera/internal/catalog"
 	"lera/internal/guard"
 	"lera/internal/lera"
+	"lera/internal/obs"
 	"lera/internal/rules"
 	"lera/internal/term"
 )
@@ -306,6 +307,7 @@ type Engine struct {
 	fresh int
 
 	ctx      context.Context // cancellation context of the current run
+	rec      *obs.Recorder   // trace recorder carried by the run context (nil = off)
 	lastGood *term.Term      // term after the last committed application
 
 	// Hot-path state (docs/PERF.md): the per-rule LHS head filters, the
@@ -346,6 +348,7 @@ func (e *Engine) RunCtx(ctx context.Context, q *term.Term) (*term.Term, *Stats, 
 		ctx = context.Background()
 	}
 	e.ctx = ctx
+	e.rec = obs.FromContext(ctx)
 	e.lastGood = q
 	st := &Stats{}
 	seq := e.RS.Sequence
@@ -388,6 +391,7 @@ func (e *Engine) RunBlockCtx(ctx context.Context, q *term.Term, blockName string
 		ctx = context.Background()
 	}
 	e.ctx = ctx
+	e.rec = obs.FromContext(ctx)
 	e.lastGood = q
 	st := &Stats{}
 	out, err := e.runBlock(q, b, st)
@@ -397,14 +401,20 @@ func (e *Engine) RunBlockCtx(ctx context.Context, q *term.Term, blockName string
 func (e *Engine) runWithSeq(q *term.Term, blocks []*rules.Block, rounds int, st *Stats) (*term.Term, *Stats, error) {
 	for r := 0; r < rounds; r++ {
 		st.Rounds++
+		var roundSpan *obs.Span
+		if e.rec != nil {
+			roundSpan = e.rec.Begin("rewrite.round", obs.Int("round", st.Rounds))
+		}
 		before := q
 		for _, b := range blocks {
 			var err error
 			q, err = e.runBlock(q, b, st)
 			if err != nil {
+				e.rec.End(roundSpan)
 				return nil, st, err
 			}
 		}
+		e.rec.End(roundSpan)
 		if term.Equal(before, q) {
 			break // fixpoint of the whole sequence
 		}
@@ -419,6 +429,17 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 	}
 	if budget == rules.Infinite {
 		budget = math.MaxInt
+	}
+	var blockSpan *obs.Span
+	if e.rec != nil {
+		blockSpan = e.rec.Begin("rewrite.block", obs.Str("block", b.Name))
+		checks0, apps0 := st.ConditionChecks, st.Applications
+		defer func() {
+			blockSpan.SetAttrs(
+				obs.Int("checks", st.ConditionChecks-checks0),
+				obs.Int("applications", st.Applications-apps0))
+			e.rec.End(blockSpan)
+		}()
 	}
 	indexed := !e.Opts.FullScan
 	if indexed && budget > 0 {
@@ -460,6 +481,11 @@ func (e *Engine) runBlock(q *term.Term, b *rules.Block, st *Stats) (*term.Term, 
 	}
 	if budget <= 0 {
 		st.BudgetExhausted = true
+		if e.rec != nil {
+			// §4.2 budget consumption: the block spent its whole
+			// condition-check allowance.
+			e.rec.Event("budget.exhausted", obs.Str("block", b.Name))
+		}
 	}
 	return q, nil
 }
@@ -598,6 +624,15 @@ func (e *Engine) tryRuleAtSite(q *term.Term, rule *rules.Rule, blockName string,
 		}
 	}
 	st.Applications++
+	if e.rec != nil {
+		// The per-rule provenance record: which rule fired, where, and
+		// what it cost (cumulative §4.2 checks at commit time; term size
+		// reads are O(1) via the memoized size).
+		e.rec.Event("rule.apply",
+			obs.Str("rule", rule.Name), obs.Str("block", blockName),
+			obs.Str("site", sitePath(ctx.Site)),
+			obs.Int("checks", st.ConditionChecks), obs.Int("size", result.Size()))
+	}
 	if e.Opts.CollectTrace {
 		// All trace-only work — the path clone and the Before/After
 		// renderings — happens only when a trace is actually collected.

@@ -26,6 +26,7 @@ import (
 	"lera/internal/engine"
 	"lera/internal/guard"
 	lalg "lera/internal/lera"
+	"lera/internal/obs"
 	"lera/internal/rewrite"
 	"lera/internal/rulecheck"
 	"lera/internal/term"
@@ -41,9 +42,10 @@ type Result = core.Result
 
 // Result kinds.
 const (
-	ResultDDL    = core.ResultDDL
-	ResultInsert = core.ResultInsert
-	ResultRows   = core.ResultRows
+	ResultDDL     = core.ResultDDL
+	ResultInsert  = core.ResultInsert
+	ResultRows    = core.ResultRows
+	ResultExplain = core.ResultExplain
 )
 
 // Rewriter is the assembled rule-based rewriter.
@@ -156,6 +158,43 @@ const (
 
 // HasCheckErrors reports whether any verifier finding is error-level.
 func HasCheckErrors(ds []Diagnostic) bool { return rulecheck.HasErrors(ds) }
+
+// --- observability (internal/obs, docs/OBSERVABILITY.md) ---
+
+// Observer is the session-level observability sink: a metrics registry
+// plus a per-query tracing switch. Attach one with Session.Obs; nil
+// disables the layer at zero cost.
+type Observer = obs.Observer
+
+// MetricsRegistry holds named counters, gauges and bounded histograms,
+// exposable as expvar JSON or Prometheus text (Registry.Handler).
+type MetricsRegistry = obs.Registry
+
+// Span is one timed region of an observed query's trace.
+type Span = obs.Span
+
+// QueryReport is the per-query observability record on Result.Report:
+// phase timings, the span trace and per-operator execution statistics.
+type QueryReport = core.QueryReport
+
+// PhaseTimings are the per-phase wall-clock durations of one query.
+type PhaseTimings = core.PhaseTimings
+
+// OpStats is one node of the engine's per-operator execution statistics
+// tree (Result.Report.Exec).
+type OpStats = engine.OpStats
+
+// Counters are the engine's flat work counters (rows scanned, join
+// pairs, rows emitted, predicate evaluations, fixpoint iterations).
+type Counters = engine.Counters
+
+// NewObserver returns an observer with a fresh metrics registry and
+// tracing off.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// FormatTrace renders a span tree as an indented outline; withTimings
+// false yields a deterministic form suitable for regression comparison.
+func FormatTrace(root *Span, withTimings bool) string { return obs.FormatTree(root, withTimings) }
 
 // Format renders a LERA term in the paper's concrete syntax, e.g.
 // search((APPEARS_IN, FILM), [1.1=2.1 ∧ ...], (2.2, 2.3, salary(1.2))).
