@@ -6,7 +6,12 @@
 //
 // Usage: benchrunner [-e 1,4,7] [-json] [-metrics-addr :9090]
 //
-//	[-cpuprofile f] [-memprofile f]
+//	[-parallelism N] [-cpuprofile f] [-memprofile f]
+//
+// -parallelism sizes the engine's intra-query worker pool for every
+// measured query (0 = all cores, 1 = serial; default 1 so archived runs
+// stay comparable across machines). E14 varies the pool size itself to
+// measure the speedup.
 //
 // With -json the tables are emitted as one JSON document that also
 // records provenance — the git commit the binary was built from and a
@@ -88,14 +93,21 @@ var rec recorder
 // the -metrics-addr endpoint reports the whole run.
 var obsv = lera.NewObserver()
 
+// poolSize is the engine worker-pool size measure applies to every
+// session (the -parallelism flag; E14 varies it per row). 1 keeps the
+// default run serial so archived counter tables stay comparable.
+var poolSize = 1
+
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
 	asJSON := flag.Bool("json", false, "emit results as JSON with commit and rule-base provenance")
 	metricsAddr := flag.String("metrics-addr", "", "serve run metrics over HTTP at this address (Prometheus text at /metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	parFlag := flag.Int("parallelism", 1, "engine worker-pool size for every measured query (0 = all cores, 1 = serial)")
 	flag.Parse()
 	rec.jsonMode = *asJSON
+	poolSize = *parFlag
 	scrapeURL := ""
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -170,6 +182,7 @@ func main() {
 	run(8, e8RepeatedBlocks)
 	run(10, e10Planning)
 	run(11, e11Guardrails)
+	run(14, e14Parallel)
 	if rec.jsonMode {
 		emitJSON()
 	}
@@ -316,6 +329,7 @@ func randGraph(n, e int) [][2]int {
 // silently reports fallback-plan numbers as optimized ones.
 func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Duration) {
 	s.Obs = obsv
+	s.Parallelism = poolSize
 	if rec.jsonMode {
 		s.DB.CollectStats = true
 	}
@@ -720,6 +734,44 @@ block(spinb, {spin}, inf);
 			reason = firstWords(st.DegradationReason, 4)
 		}
 		row("%d | %v | %s | %d | %d | %s", cap, degraded, reason, checks, len(res.Rows), round(d))
+	}
+}
+
+// --- E14: intra-query parallelism (beyond the paper's measurements) ---
+
+func e14Parallel() {
+	header("E14 — intra-query parallelism (worker pool)",
+		"The paper's rewriter ran inside the EDS *parallel* database server; this measures the engine's worker pool (DB.Parallelism) on the two heaviest workloads: a large hash join and the bilinear fixpoint of the Figure 5 shape. Results are bit-identical at every pool size (docs/PERF.md).",
+		"workload | parallelism | rows | joinPairs | emitted | time | speedup")
+	workloads := []struct {
+		name  string
+		build func() *lera.Session
+		q     string
+	}{
+		{"hash join (120k ⋈ 120k)",
+			func() *lera.Session { return edgeGraph(chain(120000)) },
+			"SELECT E1.Src, E2.Dst FROM EDGE E1, EDGE E2 WHERE E1.Dst = E2.Src"},
+		{"bilinear fixpoint (chain 200, full closure)",
+			func() *lera.Session { return edgeGraph(chain(200)) },
+			"SELECT Src, Dst FROM TC"},
+	}
+	saved := poolSize
+	defer func() { poolSize = saved }()
+	for _, w := range workloads {
+		var serial time.Duration
+		for _, p := range []int{1, 4} {
+			poolSize = p
+			s := w.build()
+			res, c, d := measure(s, w.q)
+			speedup := "-"
+			if p == 1 {
+				serial = d
+			} else if d > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(serial)/float64(d))
+			}
+			row("%s | %d | %d | %d | %d | %s | %s",
+				w.name, p, len(res.Rows), c.JoinPairs, c.Emitted, round(d), speedup)
+		}
 	}
 }
 

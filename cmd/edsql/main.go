@@ -10,6 +10,7 @@
 //	\films           load the paper's Figure 2-5 example database
 //	\tables          list relations and views
 //	\check           verify the rule base (lint + differential testing)
+//	\set parallelism N  size the intra-query worker pool (0 = all cores, 1 = serial)
 //	\help            this text
 //
 // Guardrail flags (see docs/GUARDRAILS.md):
@@ -17,6 +18,8 @@
 //	--timeout D      per-phase wall-clock budget (e.g. 2s, 500ms)
 //	--max-steps N    cap on committed rule applications per query
 //	--max-rows N     cap on rows materialized during execution
+//	--parallelism N  intra-query worker pool size (0 = all cores, 1 = serial;
+//	                 results are bit-identical at every setting, see docs/PERF.md)
 //
 // When a budget interrupts the rewriter, the shell still answers the
 // query from the fallback plan and prints a one-line degradation notice.
@@ -39,10 +42,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-phase wall-clock budget for rewrite and execution (0 = none)")
 	maxSteps := flag.Int("max-steps", 0, "cap on committed rule applications per query (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "cap on rows materialized during execution (0 = none)")
+	parallelism := flag.Int("parallelism", 0, "intra-query worker pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	s := lera.NewSession()
 	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
+	s.Parallelism = *parallelism
 	s.Obs = lera.NewObserver()
 	showPlan := true
 	in := bufio.NewScanner(os.Stdin)
@@ -119,8 +124,21 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		fmt.Println("views:    ", strings.Join(s.Cat.ViewNames(), ", "))
 	case "\\check":
 		check(s)
+	case "\\set":
+		if len(fields) == 3 && fields[1] == "parallelism" {
+			n := 0
+			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil || n < 0 {
+				fmt.Println("usage: \\set parallelism N  (0 = all cores, 1 = serial)")
+				break
+			}
+			s.Parallelism = n
+		} else if len(fields) != 1 {
+			fmt.Println("usage: \\set parallelism N")
+			break
+		}
+		fmt.Println("parallelism:", s.Parallelism, "(0 = all cores, 1 = serial)")
 	case "\\help":
-		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check")
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check \\set parallelism N")
 	default:
 		fmt.Println("unknown meta-command (try \\help)")
 	}

@@ -1,0 +1,55 @@
+package core
+
+// The pipeline-level half of the parallel differential gate: every golden
+// query (the Figure 3–12 corpus plus the derived views) must render
+// byte-identical results — rows, column order, counters, EXPLAIN ANALYZE
+// stats — whether the engine runs serially or on a 4-worker pool.
+
+import (
+	"testing"
+
+	"lera/internal/engine"
+)
+
+// runCorpus executes every golden query at the given parallelism and
+// returns the rendered result bytes, the counter deltas and the
+// deterministic stats renderings, query by query.
+func runCorpus(t *testing.T, parallelism int) (rendered, stats []string, counts []engine.Counters) {
+	t.Helper()
+	s := goldenSession(t)
+	s.Parallelism = parallelism
+	s.DB.CollectStats = true
+	for _, c := range goldenCases {
+		before := s.DB.Count
+		res, err := s.Query(c.query)
+		if err != nil {
+			t.Fatalf("parallelism %d: %s: %v", parallelism, c.query, err)
+		}
+		rendered = append(rendered, FormatResult(res))
+		stats = append(stats, s.DB.LastExecStats().Format(false))
+		d := s.DB.Count
+		d.Scanned -= before.Scanned
+		d.JoinPairs -= before.JoinPairs
+		d.Emitted -= before.Emitted
+		d.PredEvals -= before.PredEvals
+		d.FixIterations -= before.FixIterations
+		counts = append(counts, d)
+	}
+	return rendered, stats, counts
+}
+
+func TestParallelSerialEquivalenceCorpus(t *testing.T) {
+	serialOut, serialStats, serialCounts := runCorpus(t, 1)
+	parOut, parStats, parCounts := runCorpus(t, 4)
+	for i, c := range goldenCases {
+		if serialOut[i] != parOut[i] {
+			t.Errorf("%s: rendered result differs\n--- serial ---\n%s\n--- parallel ---\n%s", c.query, serialOut[i], parOut[i])
+		}
+		if serialStats[i] != parStats[i] {
+			t.Errorf("%s: stats tree differs\n--- serial ---\n%s\n--- parallel ---\n%s", c.query, serialStats[i], parStats[i])
+		}
+		if serialCounts[i] != parCounts[i] {
+			t.Errorf("%s: counters differ: serial %+v, parallel %+v", c.query, serialCounts[i], parCounts[i])
+		}
+	}
+}

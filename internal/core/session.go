@@ -38,6 +38,12 @@ type Session struct {
 	// run.
 	Limits guard.Limits
 
+	// Parallelism sizes the engine's intra-query worker pool: 0 means
+	// runtime.GOMAXPROCS(0), 1 the serial path, n > 1 a pool of n workers.
+	// Results are bit-identical at every setting (docs/PERF.md, "Parallel
+	// execution").
+	Parallelism int
+
 	// Obs is the session's observability sink (see internal/obs and
 	// docs/OBSERVABILITY.md): nil disables the layer entirely; with an
 	// observer, pipeline metrics accumulate in Obs.Metrics and — when
@@ -314,6 +320,7 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	}
 	defer cancel()
 	s.DB.Limits = s.Limits
+	s.DB.Parallelism = s.Parallelism
 
 	collect := analyze || rec.Enabled() || s.DB.CollectStats
 	savedCollect := s.DB.CollectStats

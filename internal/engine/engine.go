@@ -24,17 +24,23 @@ import (
 	"lera/internal/value"
 )
 
-// Relation is an evaluated relation: a bag of rows.
+// Relation is an evaluated relation: a bag of rows. Width carries the
+// declared arity for the empty case: operators that know their output
+// width record it, so an empty result still answers Arity correctly
+// instead of collapsing to 0 (which under-reported operator width in
+// OpStats and EXPLAIN ANALYZE).
 type Relation struct {
-	Rows [][]value.Value
+	Rows  [][]value.Value
+	Width int
 }
 
-// Arity returns the width of the relation (0 when empty).
+// Arity returns the width of the relation: the row width when rows exist,
+// the declared Width otherwise.
 func (r *Relation) Arity() int {
-	if len(r.Rows) == 0 {
-		return 0
+	if len(r.Rows) > 0 {
+		return len(r.Rows[0])
 	}
-	return len(r.Rows[0])
+	return r.Width
 }
 
 // Key encodes a row for hashing and duplicate elimination.
@@ -50,7 +56,7 @@ func rowKey(row []value.Value) string {
 // Dedup returns the relation with duplicate rows removed (set semantics).
 func (r *Relation) Dedup() *Relation {
 	seen := map[string]bool{}
-	out := &Relation{}
+	out := &Relation{Width: r.Width}
 	for _, row := range r.Rows {
 		k := rowKey(row)
 		if !seen[k] {
@@ -108,6 +114,12 @@ type DB struct {
 	// Off, evaluation pays one nil check per operator and zero
 	// allocations.
 	CollectStats bool
+	// Parallelism sizes the intra-query worker pool (parallel.go):
+	// 0 = runtime.GOMAXPROCS(0), 1 = the serial path, n > 1 = n workers.
+	// Results, counters and stats trees are bit-identical at every
+	// setting — workers merge in deterministic task order (docs/PERF.md,
+	// "Parallel execution").
+	Parallelism int
 
 	rels      map[string]*Relation
 	g         *evalGuard // per-EvalCtx guard state (nil outside a call)
@@ -116,13 +128,17 @@ type DB struct {
 
 // evalGuard is the per-evaluation guard state: the cancellation context,
 // an amortizing tick counter for the tuple-at-a-time hot path, the
-// cumulative materialized-row charge, and the open per-operator stats
-// frame (nil unless CollectStats).
+// cumulative materialized-row account, the worker pool, and the open
+// per-operator stats frame (nil unless CollectStats). The context, tick
+// and stats frame are per-worker (each parallel worker clone owns an
+// evalGuard); the row Budget and the pool are shared by every worker of
+// the evaluation, so the row cap fires promptly from any of them.
 type evalGuard struct {
 	ctx  context.Context
 	lim  guard.Limits
 	tick int
-	rows int
+	rows *guard.Budget
+	pool *workerPool
 	cur  *OpStats
 }
 
@@ -155,15 +171,15 @@ func (db *DB) checkCtx() error {
 	return guard.CheckCtx(db.g.ctx)
 }
 
-// chargeRows charges n freshly materialized rows against the row budget.
+// chargeRows charges n freshly materialized rows against the shared row
+// budget of the evaluation.
 func (db *DB) chargeRows(n int) error {
 	g := db.g
 	if g == nil {
 		return nil
 	}
-	g.rows += n
-	if max := g.lim.MaxRows; max > 0 && g.rows > max {
-		return fmt.Errorf("engine: %w: %d rows materialized (cap %d)", guard.ErrRowBudget, g.rows, max)
+	if err := g.rows.ChargeRows(n, g.lim.MaxRows); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }
@@ -183,10 +199,12 @@ func (db *DB) Load(name string, rows [][]value.Value) error {
 			}
 		}
 	}
-	db.rels[strings.ToUpper(name)] = &Relation{Rows: rows}
+	stored := &Relation{Rows: rows}
 	if rel, ok := db.Cat.Relation(name); ok {
+		stored.Width = len(rel.Columns)
 		rel.EstRows = len(rows)
 	}
+	db.rels[strings.ToUpper(name)] = stored
 	return nil
 }
 
@@ -196,6 +214,9 @@ func (db *DB) Insert(name string, row []value.Value) error {
 	r := db.rels[key]
 	if r == nil {
 		r = &Relation{}
+		if rel, ok := db.Cat.Relation(name); ok {
+			r.Width = len(rel.Columns)
+		}
 		db.rels[key] = r
 	}
 	if rel, ok := db.Cat.Relation(name); ok && len(row) != len(rel.Columns) {
@@ -241,7 +262,10 @@ func (db *DB) Eval(t *term.Term) (*Relation, error) {
 // materializes its output.
 func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 	prev := db.g
-	db.g = &evalGuard{ctx: ctx, lim: db.Limits}
+	db.g = &evalGuard{ctx: ctx, lim: db.Limits, rows: &guard.Budget{}}
+	if w := db.Workers(); w > 1 {
+		db.g.pool = &workerPool{sem: make(chan struct{}, w-1)}
+	}
 	if db.CollectStats {
 		root := &OpStats{Op: "eval", Incl: db.Count}
 		db.g.cur = root
@@ -308,19 +332,26 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := &Relation{}
-		for _, row := range in.Rows {
-			if err := db.tickRow(); err != nil {
-				return nil, err
+		kept, err := db.mapRowChunks(in.Rows, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+			var out [][]value.Value
+			for _, row := range chunk {
+				if err := w.tickRow(); err != nil {
+					return nil, err
+				}
+				ok, err := w.evalBool(t.Args[1], [][]value.Value{row})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, row)
+				}
 			}
-			ok, err := db.evalBool(t.Args[1], [][]value.Value{row})
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out.Rows = append(out.Rows, row)
-			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		out := &Relation{Rows: kept, Width: in.Arity()}
 		out = out.Dedup()
 		db.Count.Emitted += len(out.Rows)
 		if err := db.chargeRows(len(out.Rows)); err != nil {
@@ -337,7 +368,7 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := &Relation{}
+		out := &Relation{Width: left.Arity() + right.Arity()}
 		for _, l := range left.Rows {
 			for _, r := range right.Rows {
 				if err := db.tickRow(); err != nil {
@@ -361,11 +392,17 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 		return out, nil
 
 	case "UNIONN":
+		// Members are independent: evaluate them on the worker pool and
+		// merge in member order, so the pre-dedup row sequence — and with
+		// it the output — is identical to the serial loop.
+		rels, err := db.evalMembers(t.Args[0].Args, e)
+		if err != nil {
+			return nil, err
+		}
 		out := &Relation{}
-		for _, m := range t.Args[0].Args {
-			r, err := db.eval(m, e)
-			if err != nil {
-				return nil, err
+		for _, r := range rels {
+			if out.Width == 0 {
+				out.Width = r.Arity()
 			}
 			out.Rows = append(out.Rows, r.Rows...)
 		}
@@ -403,7 +440,7 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 			}
 			keys = next
 		}
-		out := &Relation{}
+		out := &Relation{Width: acc.Arity()}
 		seen := map[string]bool{}
 		for _, row := range acc.Rows {
 			k := rowKey(row)
@@ -431,7 +468,7 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 		for _, row := range right.Rows {
 			drop[rowKey(row)] = true
 		}
-		out := &Relation{}
+		out := &Relation{Width: left.Arity()}
 		seen := map[string]bool{}
 		for _, row := range left.Rows {
 			k := rowKey(row)
@@ -517,6 +554,9 @@ func (db *DB) evalNest(t *term.Term, e env) (*Relation, error) {
 		g.elems = append(g.elems, elem)
 	}
 	out := &Relation{}
+	if w := in.Arity(); w > 0 {
+		out.Width = w - len(nestedIdx) + 1
+	}
 	for _, k := range order {
 		g := groups[k]
 		out.Rows = append(out.Rows, append(append([]value.Value(nil), g.key...), value.NewSet(g.elems...)))
@@ -534,7 +574,7 @@ func (db *DB) evalUnnest(t *term.Term, e env) (*Relation, error) {
 		return nil, err
 	}
 	j := int(t.Args[1].Val.I)
-	out := &Relation{}
+	out := &Relation{Width: in.Arity()}
 	for _, row := range in.Rows {
 		if err := db.tickRow(); err != nil {
 			return nil, err

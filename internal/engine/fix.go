@@ -53,7 +53,10 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 			return nil, err
 		}
 		added := 0
-		next := &Relation{Rows: append([][]value.Value(nil), total.Rows...)}
+		next := &Relation{Rows: append([][]value.Value(nil), total.Rows...), Width: total.Width}
+		if next.Width == 0 {
+			next.Width = r.Arity()
+		}
 		for _, row := range r.Rows {
 			k := rowKey(row)
 			if !seen[k] {
@@ -67,7 +70,10 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 		if added == 0 {
 			return total, nil
 		}
-		if iters >= cap {
+		// Cap semantics (shared with semi-naive): the cap is the maximum
+		// number of *productive* rounds. Round `cap` may still add rows;
+		// only a fixpoint productive beyond that errs.
+		if iters > cap {
 			return nil, fmt.Errorf("engine: naive fixpoint %s still growing after %d iterations (cap %d)", name, iters, cap)
 		}
 	}
@@ -99,7 +105,7 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 	total := &Relation{}
 	seen := map[string]bool{}
 	add := func(rows [][]value.Value) *Relation {
-		delta := &Relation{}
+		delta := &Relation{Width: total.Width}
 		for _, row := range rows {
 			k := rowKey(row)
 			if !seen[k] {
@@ -111,13 +117,31 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 		return delta
 	}
 
-	// Round 0: base members.
+	// The per-round body of each recursive member is loop-invariant: one
+	// variant per occurrence of the fixpoint name, with that occurrence
+	// rebound to the delta. Hoist the substitution out of the round loop.
+	var variants []*term.Term
+	for _, m := range rec {
+		occ := countOccurrences(m, name)
+		for k := 0; k < occ; k++ {
+			variants = append(variants, substituteOccurrence(m, name, k))
+		}
+	}
+
+	// Round 0: base members. Checked for cancellation first — a huge base
+	// member must not stall the query past its deadline unobserved.
 	db.Count.FixIterations++
+	if err := db.checkCtx(); err != nil {
+		return nil, err
+	}
+	baseRels, err := db.evalMembers(base, e)
+	if err != nil {
+		return nil, err
+	}
 	var firstRows [][]value.Value
-	for _, m := range base {
-		r, err := db.eval(m, e)
-		if err != nil {
-			return nil, err
+	for _, r := range baseRels {
+		if total.Width == 0 {
+			total.Width = r.Arity()
 		}
 		firstRows = append(firstRows, r.Rows...)
 	}
@@ -130,23 +154,21 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 		if err := db.checkCtx(); err != nil {
 			return nil, err
 		}
+		// Same cap semantics as naive: cap bounds productive rounds (the
+		// base round counts as productive round 1).
 		if iters > cap {
 			return nil, fmt.Errorf("engine: semi-naive fixpoint %s still growing after %d iterations (cap %d)", name, iters, cap)
 		}
+		inner := e.clone()
+		inner[name] = total
+		inner[deltaName] = delta
+		recRels, err := db.evalMembers(variants, inner)
+		if err != nil {
+			return nil, err
+		}
 		var newRows [][]value.Value
-		for _, m := range rec {
-			occ := countOccurrences(m, name)
-			for k := 0; k < occ; k++ {
-				mk := substituteOccurrence(m, name, k)
-				inner := e.clone()
-				inner[name] = total
-				inner[deltaName] = delta
-				r, err := db.eval(mk, inner)
-				if err != nil {
-					return nil, err
-				}
-				newRows = append(newRows, r.Rows...)
-			}
+		for _, r := range recRels {
+			newRows = append(newRows, r.Rows...)
 		}
 		delta = add(newRows)
 		db.recordFixRound(iters+1, len(delta.Rows), len(total.Rows))

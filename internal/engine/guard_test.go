@@ -93,11 +93,68 @@ func TestFixIterationCapExceeded(t *testing.T) {
 	}
 }
 
+// TestFixIterationCapParity is the regression test for the cap
+// off-by-one: naive erred at iters >= cap while semi-naive allowed
+// iters > cap, so the same query under the same Limits could converge in
+// one mode and err in the other. The shared semantics is "cap = max
+// productive rounds": the transitive closure of an n-chain needs exactly
+// n productive rounds, so cap n must converge and cap n-1 must err — in
+// both modes, with identical results on success.
+func TestFixIterationCapParity(t *testing.T) {
+	const n = 20
+	want := n * (n + 1) / 2
+	for _, tc := range []struct {
+		cap     int
+		wantErr bool
+	}{{n, false}, {n - 1, true}} {
+		for _, mode := range []FixMode{Naive, SemiNaive} {
+			db := chainDB(t, n)
+			db.Mode = mode
+			db.Limits = guard.Limits{MaxFixIterations: tc.cap}
+			r, err := db.Eval(tcFix("TC"))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("mode %v cap %d: want iteration-cap error, got %d rows", mode, tc.cap, len(r.Rows))
+				}
+				if !strings.Contains(err.Error(), "cap") {
+					t.Errorf("mode %v cap %d: error must mention the cap: %v", mode, tc.cap, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("mode %v cap %d: want convergence, got %v", mode, tc.cap, err)
+			}
+			if len(r.Rows) != want {
+				t.Errorf("mode %v cap %d: closure rows = %d, want %d", mode, tc.cap, len(r.Rows), want)
+			}
+		}
+	}
+}
+
 // TestCancelLongNaiveFixpoint is the smoke test that a context deadline
 // interrupts a long-running naive fixpoint promptly.
 func TestCancelLongNaiveFixpoint(t *testing.T) {
 	db := chainDB(t, 600)
 	db.Mode = Naive
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := db.EvalCtx(ctx, tcFix("TC"))
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt interruption", elapsed)
+	}
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+// TestCancelLongSemiNaiveFixpoint is the semi-naive twin: round 0 (the
+// base members) must observe cancellation too — a huge base member used
+// to run to completion before the first context check.
+func TestCancelLongSemiNaiveFixpoint(t *testing.T) {
+	db := chainDB(t, 600)
+	db.Mode = SemiNaive
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()

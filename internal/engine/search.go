@@ -45,10 +45,11 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 	}
 	// A statically false qualification short-circuits before any stored
 	// relation is touched — the payoff of the semantic inconsistency
-	// rules (§6.2): zero tuples scanned.
+	// rules (§6.2): zero tuples scanned. The empty result still declares
+	// the projection arity.
 	for _, c := range lera.Conjuncts(t.Args[1]) {
 		if c.Kind == term.Const && c.Val.K == value.KBool && !c.Val.B {
-			return &Relation{}, nil
+			return &Relation{Width: len(t.Args[2].Args)}, nil
 		}
 	}
 	plan := &searchPlan{projs: t.Args[2].Args}
@@ -69,7 +70,7 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 	widths := make([]int, len(plan.rels))
 	for i, r := range plan.rels {
 		if len(r.Rows) == 0 {
-			return &Relation{}, nil
+			return &Relation{Width: len(plan.projs)}, nil
 		}
 		widths[i] = len(r.Rows[0])
 	}
@@ -114,39 +115,48 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 		}
 		var joined [][]value.Value
 		if len(leftKeys) > 0 {
-			// Hash join: build on the new relation, probe with prefix.
-			build := map[string][][]value.Value{}
-			for _, row := range next {
-				var kb []value.Value
-				for _, k := range rightKeys {
-					kb = append(kb, row[k])
-				}
-				key := rowKey(kb)
-				build[key] = append(build[key], row)
+			// Hash join: build on the new relation (partitioned by key
+			// hash when the pool is on), probe with the prefix in row
+			// chunks. Both paths emit matches in (probe row, build
+			// insertion) order, so the output is identical.
+			build, berr := db.buildHashTable(next, rightKeys)
+			if berr != nil {
+				return nil, berr
 			}
-			for _, prow := range current {
-				var kb []value.Value
-				for _, k := range leftKeys {
-					kb = append(kb, prow[k])
-				}
-				for _, rrow := range build[rowKey(kb)] {
-					if err := db.tickRow(); err != nil {
-						return nil, err
+			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+				var out [][]value.Value
+				for _, prow := range chunk {
+					var kb []value.Value
+					for _, k := range leftKeys {
+						kb = append(kb, prow[k])
 					}
-					db.Count.JoinPairs++
-					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
+					for _, rrow := range build.lookup(rowKey(kb)) {
+						if err := w.tickRow(); err != nil {
+							return nil, err
+						}
+						w.Count.JoinPairs++
+						out = append(out, append(append([]value.Value(nil), prow...), rrow...))
+					}
 				}
-			}
+				return out, nil
+			})
 		} else {
-			for _, prow := range current {
-				for _, rrow := range next {
-					if err := db.tickRow(); err != nil {
-						return nil, err
+			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+				var out [][]value.Value
+				for _, prow := range chunk {
+					for _, rrow := range next {
+						if err := w.tickRow(); err != nil {
+							return nil, err
+						}
+						w.Count.JoinPairs++
+						out = append(out, append(append([]value.Value(nil), prow...), rrow...))
 					}
-					db.Count.JoinPairs++
-					joined = append(joined, append(append([]value.Value(nil), prow...), rrow...))
 				}
-			}
+				return out, nil
+			})
+		}
+		if err != nil {
+			return nil, err
 		}
 		current, err = db.filterRows(joined, plan, ri, widths[:ri])
 		if err != nil {
@@ -155,41 +165,49 @@ func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
 	}
 
 	// Any conjuncts not yet applied (e.g. referencing no attributes).
-	out := &Relation{}
-	for _, row := range current {
-		if err := db.tickRow(); err != nil {
-			return nil, err
-		}
-		ok := true
-		for ci := range plan.conjs {
-			c := &plan.conjs[ci]
-			if c.used {
+	out := &Relation{Width: len(plan.projs)}
+	projected, err := db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+		var kept [][]value.Value
+		for _, row := range chunk {
+			if err := w.tickRow(); err != nil {
+				return nil, err
+			}
+			ok := true
+			for ci := range plan.conjs {
+				c := &plan.conjs[ci]
+				if c.used {
+					continue
+				}
+				rows := splitRow(row, widths)
+				b, err := w.evalBool(c.expr, rows)
+				if err != nil {
+					return nil, err
+				}
+				if !b {
+					ok = false
+					break
+				}
+			}
+			if !ok {
 				continue
 			}
 			rows := splitRow(row, widths)
-			b, err := db.evalBool(c.expr, rows)
-			if err != nil {
-				return nil, err
+			var prow []value.Value
+			for _, p := range plan.projs {
+				v, err := w.evalExpr(p, rows)
+				if err != nil {
+					return nil, err
+				}
+				prow = append(prow, v)
 			}
-			if !b {
-				ok = false
-				break
-			}
+			kept = append(kept, prow)
 		}
-		if !ok {
-			continue
-		}
-		rows := splitRow(row, widths)
-		var prow []value.Value
-		for _, p := range plan.projs {
-			v, err := db.evalExpr(p, rows)
-			if err != nil {
-				return nil, err
-			}
-			prow = append(prow, v)
-		}
-		out.Rows = append(out.Rows, prow)
+		return kept, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = projected
 	// LERA is an extension of Codd's algebra: relations are sets, so the
 	// projection output deduplicates. This is what makes pushing a
 	// search through a set union sound for non-injective projections.
@@ -215,28 +233,30 @@ func (db *DB) filterRows(rows [][]value.Value, plan *searchPlan, upto int, width
 	if len(active) == 0 {
 		return rows, nil
 	}
-	var out [][]value.Value
-	for _, row := range rows {
-		if err := db.tickRow(); err != nil {
-			return nil, err
-		}
-		split := splitRow(row, widths)
-		keep := true
-		for _, c := range active {
-			b, err := db.evalBool(c.expr, split)
-			if err != nil {
+	return db.mapRowChunks(rows, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+		var out [][]value.Value
+		for _, row := range chunk {
+			if err := w.tickRow(); err != nil {
 				return nil, err
 			}
-			if !b {
-				keep = false
-				break
+			split := splitRow(row, widths)
+			keep := true
+			for _, c := range active {
+				b, err := w.evalBool(c.expr, split)
+				if err != nil {
+					return nil, err
+				}
+				if !b {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, row)
 			}
 		}
-		if keep {
-			out = append(out, row)
-		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 func splitRow(row []value.Value, widths []int) [][]value.Value {

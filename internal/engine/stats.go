@@ -35,6 +35,7 @@ type OpStats struct {
 	Op     string `json:"op"`               // operator functor: SEARCH, JOIN, FIX, REL, ...
 	Detail string `json:"detail,omitempty"` // relation name, fixpoint name and mode, ...
 	Rows   int    `json:"rows"`             // rows produced by this operator
+	Width  int    `json:"width,omitempty"`  // arity of the output relation (declared even when empty)
 	// Incl aggregates the work counters over this operator's subtree.
 	Incl Counters `json:"counters"`
 	// Rounds holds per-iteration deltas for FIX nodes (both naive and
@@ -80,6 +81,12 @@ func (o *OpStats) format(sb *strings.Builder, depth int, withTimings bool) {
 	}
 	self := o.Self()
 	fmt.Fprintf(sb, " rows=%d", o.Rows)
+	// Width is printed only for empty outputs: with rows present the arity
+	// is evident, and this keeps previously pinned renderings unchanged
+	// while surfacing the formerly under-reported empty-result arity.
+	if o.Rows == 0 && o.Width > 0 {
+		fmt.Fprintf(sb, " width=%d", o.Width)
+	}
 	if self.Scanned > 0 {
 		fmt.Fprintf(sb, " scanned=%d", self.Scanned)
 	}
@@ -144,6 +151,7 @@ func (db *DB) statsExit(node, parent *OpStats, start time.Time, out *Relation) {
 	node.Incl.FixIterations -= snap.FixIterations
 	if out != nil {
 		node.Rows = len(out.Rows)
+		node.Width = out.Arity()
 	}
 	node.Duration = time.Since(start)
 	db.g.cur = parent

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +71,27 @@ func (l Limits) FixIterations() int {
 	}
 	return DefaultMaxFixIterations
 }
+
+// Budget is the shared, cumulative row account of one query evaluation.
+// Every worker of a parallel query charges the same Budget, so the cap
+// trips promptly no matter which worker materializes the row that crosses
+// it; the serial path pays one uncontended atomic add per operator output.
+type Budget struct {
+	rows atomic.Int64
+}
+
+// ChargeRows adds n freshly materialized rows to the account and reports
+// ErrRowBudget once the cumulative total exceeds max (0 = unlimited).
+func (b *Budget) ChargeRows(n, max int) error {
+	total := b.rows.Add(int64(n))
+	if max > 0 && total > int64(max) {
+		return fmt.Errorf("%w: %d rows materialized (cap %d)", ErrRowBudget, total, max)
+	}
+	return nil
+}
+
+// Rows returns the rows charged so far.
+func (b *Budget) Rows() int { return int(b.rows.Load()) }
 
 // CheckCtx translates context cancellation into the guard vocabulary: a
 // deadline expiry reports ErrDeadline (still matching

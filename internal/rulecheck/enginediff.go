@@ -1,0 +1,146 @@
+package rulecheck
+
+// Three-way engine differential harness: the generated corpus is executed
+// under every evaluation variant the engine offers — naive and semi-naive
+// fixpoint mode, each serially and on a worker pool — and the results are
+// cross-checked. Mode pairs must agree as multisets (row order is not part
+// of the fixpoint-mode contract); serial/parallel pairs of the same mode
+// must agree bit-for-bit, rows in the same order, because parallel
+// evaluation promises determinism (docs/PERF.md). This is the random-corpus
+// half of the parallel differential gate; the golden Figure 3–12 half lives
+// in internal/core.
+
+import (
+	"context"
+	"fmt"
+
+	"lera/internal/catalog"
+	"lera/internal/engine"
+	"lera/internal/guard"
+	"lera/internal/lera"
+)
+
+// EngineDiffOptions configures the engine differential harness. The zero
+// value is usable: seed 1, 4 rows per relation, 4 workers, no limits.
+type EngineDiffOptions struct {
+	// Seed drives the data and corpus generation (same contract as
+	// DiffOptions.Seed).
+	Seed uint64
+	// RowsPerRelation is the generated database size.
+	RowsPerRelation int
+	// Parallelism is the pool size of the parallel variants (minimum 2 to
+	// actually exercise worker goroutines).
+	Parallelism int
+	// Limits is the guard budget applied to every evaluation.
+	Limits guard.Limits
+}
+
+func (o EngineDiffOptions) withDefaults() EngineDiffOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RowsPerRelation <= 0 {
+		o.RowsPerRelation = 4
+	}
+	if o.Parallelism < 2 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// engineVariant is one way of running the engine.
+type engineVariant struct {
+	name string
+	mode engine.FixMode
+	par  int
+}
+
+// EngineDiff executes every corpus term under all four engine variants and
+// reports divergence as RC104 diagnostics. The error return is reserved
+// for setup failures and context cancellation.
+func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions) ([]Diagnostic, error) {
+	opt = opt.withDefaults()
+	inst := Generate(cat, opt.Seed, opt.RowsPerRelation)
+	corpus := Corpus(cat, inst, opt.Seed)
+	variants := []engineVariant{
+		{"naive/serial", engine.Naive, 1},
+		{"semi-naive/serial", engine.SemiNaive, 1},
+		{"naive/parallel", engine.Naive, opt.Parallelism},
+		{"semi-naive/parallel", engine.SemiNaive, opt.Parallelism},
+	}
+	dbs := make([]*engine.DB, len(variants))
+	for i, v := range variants {
+		db, err := NewDB(cat, inst, opt.Limits)
+		if err != nil {
+			return nil, err
+		}
+		db.Mode = v.mode
+		db.Parallelism = v.par
+		dbs[i] = db
+	}
+
+	var ds []Diagnostic
+	report := func(q Query, a, b engineVariant, detail string) {
+		ds = append(ds, Diagnostic{Rule: "(engine)", Severity: SevError, Code: CodeEngineDivergence,
+			Site: q.Name,
+			Msg: fmt.Sprintf("seed-%d database: %s and %s diverge on %s: %s",
+				opt.Seed, a.name, b.name, lera.Format(q.Term), detail)})
+	}
+	for _, q := range corpus {
+		if err := ctx.Err(); err != nil {
+			return ds, err
+		}
+		rels := make([]*engine.Relation, len(variants))
+		errs := make([]error, len(variants))
+		for i := range variants {
+			rels[i], errs[i] = evalPhase(ctx, dbs[i], opt.Limits, q.Term)
+		}
+		// Same-mode serial vs parallel: success parity (the cumulative row
+		// account is order-independent, so a budget trips under the pool
+		// iff it trips serially) and bit-identical rows, order included.
+		for _, pair := range [][2]int{{0, 2}, {1, 3}} {
+			a, b := pair[0], pair[1]
+			if (errs[a] == nil) != (errs[b] == nil) {
+				report(q, variants[a], variants[b], fmt.Sprintf("%v vs %v", errs[a], errs[b]))
+				continue
+			}
+			if errs[a] != nil {
+				continue
+			}
+			if d := orderedDiff(rels[a], rels[b]); d != "" {
+				report(q, variants[a], variants[b], d)
+			}
+		}
+		// Cross-mode agreement as multisets. The modes do different
+		// amounts of work, so under a tight budget one may legitimately
+		// trip where the other converges — only compare when both
+		// succeed; a semantic failure in exactly one mode still reports.
+		if errs[0] != nil && errs[1] != nil {
+			continue
+		}
+		if (errs[0] == nil) != (errs[1] == nil) {
+			if !isBudget(errs[0]) && !isBudget(errs[1]) {
+				report(q, variants[0], variants[1], fmt.Sprintf("%v vs %v", errs[0], errs[1]))
+			}
+			continue
+		}
+		if diff := compare(rels[0], rels[1]); diff != "" {
+			report(q, variants[0], variants[1], diff)
+		}
+	}
+	return ds, nil
+}
+
+// orderedDiff compares two relations row by row; empty string means
+// identical, order included.
+func orderedDiff(a, b *engine.Relation) string {
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("%d vs %d rows", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if rowsKey(a.Rows[i]) != rowsKey(b.Rows[i]) {
+			return fmt.Sprintf("row %d differs", i)
+		}
+	}
+	return ""
+}

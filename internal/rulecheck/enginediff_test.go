@@ -1,0 +1,55 @@
+package rulecheck
+
+import (
+	"context"
+	"testing"
+
+	"lera/internal/guard"
+	"lera/internal/testdb"
+)
+
+// TestEngineModesAgree is the random-corpus differential gate: on several
+// seeded databases, naive, semi-naive and parallel evaluation must agree
+// on every generated term — as multisets across modes, bit-for-bit
+// between a mode's serial and parallel runs.
+func TestEngineModesAgree(t *testing.T) {
+	cat, err := testdb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		ds, err := EngineDiff(context.Background(), cat, EngineDiffOptions{
+			Seed:            seed,
+			RowsPerRelation: 6,
+			Parallelism:     4,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// TestEngineModesAgreeUnderLimits re-runs the gate with a guard budget in
+// force: budget trips must be consistent between a mode's serial and
+// parallel runs, and whatever converges must still agree.
+func TestEngineModesAgreeUnderLimits(t *testing.T) {
+	cat, err := testdb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := EngineDiff(context.Background(), cat, EngineDiffOptions{
+		Seed:            3,
+		RowsPerRelation: 6,
+		Parallelism:     4,
+		Limits:          guard.Limits{MaxRows: 200, MaxFixIterations: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		t.Errorf("%s", d)
+	}
+}

@@ -107,6 +107,11 @@ const (
 	// CodeRewriteError: the rewrite engine itself errored while applying
 	// the rule (an external panicked or a budget tripped mid-rewrite).
 	CodeRewriteError = "RC103"
+	// CodeEngineDivergence: the engine disagreed with itself — two
+	// evaluation variants (naive/semi-naive fixpoint mode, serial/parallel
+	// worker pool) produced different results for the same term on the
+	// same generated database (enginediff.go).
+	CodeEngineDivergence = "RC104"
 )
 
 // Diagnostic is one finding about one rule (or about the rule-base
