@@ -73,6 +73,7 @@ type queryMetrics struct {
 	MatchAttempts   int             `json:"matchAttempts"`
 	Applications    int             `json:"applications"`
 	Degraded        bool            `json:"degraded,omitempty"`
+	DegradedCode    string          `json:"degradedCode,omitempty"`
 	Counters        engine.Counters `json:"counters"`
 	Exec            *engine.OpStats `json:"exec,omitempty"`
 }
@@ -341,7 +342,8 @@ func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Dur
 	}
 	d := time.Since(start)
 	if st := res.RewriteStats(); st.Degraded {
-		fmt.Fprintf(os.Stderr, "benchrunner: degraded rewrite for %q: %s\n", q, st.DegradationReason)
+		// Same stable code vocabulary as the server protocols and edsql.
+		fmt.Fprintf(os.Stderr, "benchrunner: degraded rewrite [%s] for %q: %s\n", st.DegradationCode, q, st.DegradationReason)
 	}
 	if rec.jsonMode {
 		rec.pending = append(rec.pending, newQueryMetrics(q, res))
@@ -360,6 +362,7 @@ func newQueryMetrics(q string, res *lera.Result) *queryMetrics {
 		MatchAttempts:   st.MatchAttempts,
 		Applications:    st.Applications,
 		Degraded:        st.Degraded,
+		DegradedCode:    st.DegradationCode,
 	}
 	if rep := res.Report; rep != nil {
 		m.ParseMs = ms(rep.Phases.Parse)

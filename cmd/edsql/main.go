@@ -35,6 +35,7 @@ import (
 
 	"lera"
 	"lera/internal/esql"
+	"lera/internal/guard"
 	"lera/internal/testdb"
 )
 
@@ -176,7 +177,9 @@ func check(s *lera.Session) {
 func run(s *lera.Session, showPlan bool, src string) {
 	results, err := s.Exec(src)
 	if err != nil {
-		fmt.Println("error:", err)
+		// The bracketed code is the same stable vocabulary the server's
+		// protocols speak (guard.CodeOf, docs/SERVER.md).
+		fmt.Printf("error [%s]: %v\n", guard.CodeOf(err), err)
 	}
 	for _, r := range results {
 		if r.Kind == lera.ResultRows && showPlan {
@@ -186,7 +189,11 @@ func run(s *lera.Session, showPlan bool, src string) {
 			}
 		}
 		if st := r.RewriteStats(); st.Degraded {
-			fmt.Println("notice: rewrite degraded, answered from fallback plan —", st.DegradationReason)
+			code := st.DegradationCode
+			if code == "" {
+				code = string(guard.CodeInternal)
+			}
+			fmt.Printf("notice: rewrite degraded [%s], answered from fallback plan — %s\n", code, st.DegradationReason)
 		}
 		if r.Kind == lera.ResultRows && r.Report != nil && r.Report.Trace != nil {
 			fmt.Print("trace:\n", lera.FormatTrace(r.Report.Trace, true))

@@ -1,0 +1,119 @@
+// Command leraserver serves the LERA pipeline to network clients: an
+// HTTP/JSON API and a newline-delimited line protocol multiplexed on one
+// listener, multi-tenant guard budgets, admission control with typed
+// shedding, graceful drain on SIGTERM/SIGINT, and an optional
+// deterministic chaos mode for robustness testing. See docs/SERVER.md.
+//
+//	leraserver -addr :7457 -films -tenants tenants.json
+//	leraserver -addr :7457 -films -chaos 'server.request:stall:every=10:stall=5ms'
+//
+// Endpoints: POST/GET /query, GET /metrics (Prometheus text), GET
+// /healthz (503 while draining). The line protocol speaks lowercase
+// verbs: tenant, query, ping, quit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lera/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7457", "listen address for both protocols")
+		films        = flag.Bool("films", false, "load the paper's Figure 2-5 example database")
+		initFile     = flag.String("init", "", "ESQL file executed at boot (DDL, views, INSERTs)")
+		rulesFile    = flag.String("rules", "", "extra rule-language source merged into the rule base")
+		tenantsFile  = flag.String("tenants", "", "tenant-config JSON file (per-tenant guard budgets)")
+		chaosSpec    = flag.String("chaos", "", "chaos spec, e.g. 'member:error:every=7,server.request:stall:every=5:stall=20ms'")
+		maxInFlight  = flag.Int("max-inflight", 8, "max concurrently executing queries (= session-pool size)")
+		maxQueue     = flag.Int("max-queue", 0, "max queries waiting for a slot (0 = 2*max-inflight, negative = none)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait before cancelling in-flight work")
+		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "post-cancel wait for cancellations to land")
+		parallelism  = flag.Int("parallelism", 1, "intra-query parallelism per session (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, *films, *initFile, *rulesFile, *tenantsFile, *chaosSpec,
+		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism); err != nil {
+		fmt.Fprintln(os.Stderr, "leraserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec string,
+	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism int) error {
+	cfg := server.Config{
+		LoadFilms:    films,
+		MaxInFlight:  maxInFlight,
+		MaxQueue:     maxQueue,
+		DrainTimeout: drainTimeout,
+		DrainGrace:   drainGrace,
+		Parallelism:  parallelism,
+		ErrorLog:     os.Stderr,
+	}
+	if initFile != "" {
+		src, err := os.ReadFile(initFile)
+		if err != nil {
+			return err
+		}
+		cfg.InitESQL = string(src)
+	}
+	if rulesFile != "" {
+		src, err := os.ReadFile(rulesFile)
+		if err != nil {
+			return err
+		}
+		cfg.Rules = string(src)
+	}
+	if tenantsFile != "" {
+		t, err := server.LoadTenants(tenantsFile)
+		if err != nil {
+			return err
+		}
+		cfg.Tenants = t
+	}
+	if chaosSpec != "" {
+		faults, err := server.ParseChaos(chaosSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Chaos = faults
+		fmt.Fprintf(os.Stderr, "leraserver: chaos mode armed (%d faults)\n", len(faults))
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Tenants) > 0 {
+		fmt.Fprintf(os.Stderr, "leraserver: tenants %v\n", cfg.Tenants.Names())
+	}
+
+	// SIGTERM/SIGINT starts the graceful drain; a second signal is the
+	// operator insisting, so exit hard.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "leraserver: %v — draining (timeout %v)\n", sig, drainTimeout)
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "leraserver: second signal — exiting immediately")
+			os.Exit(2)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout+drainGrace+5*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "leraserver: drain:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "leraserver: listening on %s (HTTP + line protocol)\n", addr)
+	return srv.ListenAndServe(addr)
+}

@@ -1,0 +1,257 @@
+// Command loadgen drives a leraserver with a concurrent mixed workload
+// and audits the robustness contract from the client side: every request
+// must end in exactly one typed outcome, the server-side ledger must
+// account for every request it received, and /metrics must scrape
+// cleanly. It exits non-zero if any request goes unreported or the audit
+// fails, which makes it the CI chaos gate (see docs/SERVER.md).
+//
+//	loadgen -url http://127.0.0.1:7457 -n 500 -c 16 -json BENCH_server.json
+//
+// Retries use bounded exponential backoff with deterministic jitter
+// (-seed), so a run that shed N requests sheds exactly N on the rerun.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lera/internal/guard"
+	"lera/internal/server"
+)
+
+// defaultQueries is the built-in mix over the \films example database:
+// a plain scan, an ADT-heavy filter, the recursive view, and — when
+// -errors is set — a parse error to exercise the failure path.
+var defaultQueries = []string{
+	"SELECT Title FROM FILM WHERE Numf > 0",
+	"SELECT Title FROM FILM WHERE COUNT(Categories) > 0",
+	"SELECT Name(Refactor1) FROM BETTER_THAN WHERE Name(Refactor2) = 'Quinn'",
+	"SELECT Title, Categories FROM FILM",
+}
+
+type result struct {
+	Code     string
+	Degraded bool
+	Attempts int
+	Total    time.Duration
+}
+
+// report is the JSON account of one run (the BENCH_server.json shape).
+type report struct {
+	URL         string         `json:"url"`
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Tenant      string         `json:"tenant,omitempty"`
+	ElapsedMs   float64        `json:"elapsedMs"`
+	Throughput  float64        `json:"requestsPerSec"`
+	ByCode      map[string]int `json:"byCode"`
+	Degraded    int            `json:"degraded"`
+	Retried     int            `json:"retried"`
+	LatencyMs   struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latencyMs"`
+	Unreported int  `json:"unreported"`
+	ScrapeOK   bool `json:"metricsScrapeOk"`
+	ServerSeen int64 `json:"serverRequestsTotal"`
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:7457", "server base URL")
+		n         = flag.Int("n", 200, "total requests")
+		c         = flag.Int("c", 8, "concurrent workers")
+		tenant    = flag.String("tenant", "", "tenant name sent with every request")
+		queryList = flag.String("queries", "", "file with one query per line (default: built-in films mix)")
+		withBad   = flag.Bool("errors", false, "mix in a parse-error query")
+		retries   = flag.Int("retries", 4, "max attempts per request (1 = no retries)")
+		seed      = flag.Uint64("seed", 1, "jitter PRNG seed (deterministic backoff)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request overall timeout")
+		jsonOut   = flag.String("json", "", "write the run report as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*url, *n, *c, *tenant, *queryList, *withBad, *retries, *seed, *timeout, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, n, c int, tenant, queryList string, withBad bool, retries int, seed uint64, timeout time.Duration, jsonOut string) error {
+	queries := defaultQueries
+	if queryList != "" {
+		data, err := os.ReadFile(queryList)
+		if err != nil {
+			return err
+		}
+		queries = nil
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "--") {
+				queries = append(queries, line)
+			}
+		}
+		if len(queries) == 0 {
+			return fmt.Errorf("no queries in %s", queryList)
+		}
+	}
+	if withBad {
+		queries = append(append([]string{}, queries...), "this is not esql")
+	}
+	if c < 1 {
+		c = 1
+	}
+
+	results := make([]result, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := server.NewClient(url)
+			cl.Tenant = tenant
+			cl.Retry.MaxAttempts = retries
+			cl.Retry.Seed = seed + uint64(w)
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				out := cl.Query(ctx, queries[i%len(queries)])
+				cancel()
+				results[i] = result{Code: string(out.Code), Attempts: out.Attempts, Total: out.Total,
+					Degraded: out.Resp != nil && out.Resp.Degraded}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep := report{URL: url, Requests: n, Concurrency: c, Tenant: tenant,
+		ElapsedMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		Throughput: float64(n) / elapsed.Seconds(),
+		ByCode:     map[string]int{},
+	}
+	lats := make([]float64, 0, n)
+	for _, r := range results {
+		if r.Code == "" {
+			rep.Unreported++ // a request with no typed outcome: the gate
+			continue
+		}
+		rep.ByCode[r.Code]++
+		if r.Degraded {
+			rep.Degraded++
+		}
+		if r.Attempts > 1 {
+			rep.Retried++
+		}
+		lats = append(lats, float64(r.Total.Nanoseconds())/1e6)
+	}
+	sort.Float64s(lats)
+	rep.LatencyMs.P50 = quantile(lats, 0.50)
+	rep.LatencyMs.P95 = quantile(lats, 0.95)
+	rep.LatencyMs.P99 = quantile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.LatencyMs.Max = lats[len(lats)-1]
+	}
+
+	// Server-side audit: /metrics must scrape cleanly, and the server's
+	// own ledger must balance — every request it counted was answered.
+	scrapeErr := audit(url, &rep)
+
+	fmt.Printf("loadgen: %d requests, %d workers, %.1fs (%.0f req/s)\n", n, c, elapsed.Seconds(), rep.Throughput)
+	codes := make([]string, 0, len(rep.ByCode))
+	for k := range rep.ByCode {
+		codes = append(codes, k)
+	}
+	sort.Strings(codes)
+	for _, k := range codes {
+		fmt.Printf("  %-16s %d\n", k, rep.ByCode[k])
+	}
+	fmt.Printf("  degraded %d, retried %d, unreported %d\n", rep.Degraded, rep.Retried, rep.Unreported)
+	fmt.Printf("  latency ms: p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
+		rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99, rep.LatencyMs.Max)
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if rep.Unreported > 0 {
+		return fmt.Errorf("%d requests got no typed outcome", rep.Unreported)
+	}
+	if scrapeErr != nil {
+		return scrapeErr
+	}
+	return nil
+}
+
+// audit scrapes /metrics, checks the exposition parses, and balances the
+// server's request ledger.
+func audit(url string, rep *report) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	vals := map[string]int64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("metrics scrape: unparseable line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+			return fmt.Errorf("metrics scrape: bad value in %q", line)
+		}
+		vals[fields[0]] = int64(v)
+	}
+	rep.ScrapeOK = true
+	rep.ServerSeen = vals["lera_server_requests_total"]
+	answered := vals["lera_server_queries_ok_total"] + vals["lera_server_query_errors_total"]
+	if answered != rep.ServerSeen {
+		return fmt.Errorf("server ledger unbalanced: %d requests, %d answered (dropped-but-unreported)",
+			rep.ServerSeen, answered)
+	}
+	if got := rep.ByCode[string(guard.CodeOK)]; rep.ServerSeen > 0 && got == 0 && rep.Requests > 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: warning: no OK responses at all")
+	}
+	return nil
+}
+
+// quantile reads the q-quantile from sorted data (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -53,6 +53,7 @@ type config struct {
 	blockLimits   map[string]int
 	ruleCheck     bool
 	fullScan      bool
+	injector      *guard.Injector
 }
 
 // WithTrace records a rule-application trace for Explain.
@@ -108,6 +109,18 @@ func WithBlockLimit(name string, limit int) Option {
 // rewrites (docs/PERF.md); this exists as the differential-testing oracle
 // and as an escape hatch while diagnosing index-related surprises.
 func WithFullScan() Option { return func(c *config) { c.fullScan = true } }
+
+// WithInjector arms a deterministic fault injector across the whole
+// pipeline: every rewrite-side external (constraint, method, builtin) and
+// every execution-side ADT function hits the injector by uppercase name
+// before it runs, so armed faults — panics, errors, stalls — fire inside
+// live queries exactly as they do in unit tests (the determinism contract
+// is documented in internal/guard/faultinject.go). This is the one path
+// leraserver's chaos mode and the guard test suite share. A nil injector
+// is ignored.
+func WithInjector(inj *guard.Injector) Option {
+	return func(c *config) { c.injector = inj }
+}
 
 // WithRuleCheck runs the static rule-base verifier (internal/rulecheck)
 // over the assembled rule set at construction time: error-level findings
@@ -258,6 +271,7 @@ func (r *Rewriter) newEngine(q *term.Term, lim guard.Limits) *rewrite.Engine {
 		MaxChecks:    r.cfg.maxChecks,
 		Limits:       lim,
 		FullScan:     r.cfg.fullScan,
+		Injector:     r.cfg.injector,
 	}
 	limits := map[string]int{}
 	for k, v := range r.cfg.blockLimits {

@@ -55,13 +55,55 @@ type Session struct {
 // NewSession creates a session with an empty catalog and database.
 func NewSession(opts ...Option) *Session {
 	cat := catalog.New()
-	return &Session{
+	s := &Session{
 		Cat:     cat,
 		DB:      engine.New(cat),
 		opts:    opts,
 		stale:   true,
 		Rewrite: true,
 	}
+	// A WithInjector option arms the executor too: the rewriter reads it
+	// from its config, the engine from DB.Injector, so one injector
+	// covers constraints, methods, builtins and ADT calls alike.
+	s.DB.Injector = injectorOf(opts)
+	return s
+}
+
+// injectorOf extracts the WithInjector value from an option list (nil
+// when absent).
+func injectorOf(opts []Option) *guard.Injector {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.injector
+}
+
+// Fork returns a session sharing this one's catalog, rule base options
+// and stored data as an immutable snapshot, with private execution state
+// — the session-pool primitive. The fork owns its engine DB fork (shared
+// relations/objects, private counters, guard state and stats), its own
+// rewriter (built eagerly here, so a broken rule base fails at fork time
+// rather than on the first query) and copies of Limits, Parallelism,
+// Rewrite and Obs. Forks are safe to use concurrently with each other
+// and with the parent PROVIDED the shared state stays immutable: no
+// DDL, INSERT or SetObject on any of them after forking. leraserver
+// enforces this by admitting only SELECT statements.
+func (s *Session) Fork() (*Session, error) {
+	ns := &Session{
+		Cat:         s.Cat,
+		DB:          s.DB.Fork(),
+		opts:        s.opts,
+		stale:       true,
+		Rewrite:     s.Rewrite,
+		Limits:      s.Limits,
+		Parallelism: s.Parallelism,
+		Obs:         s.Obs,
+	}
+	if _, err := ns.Rewriter(); err != nil {
+		return nil, err
+	}
+	return ns, nil
 }
 
 // Rewriter returns the session's rewriter, rebuilding it after catalog
@@ -367,7 +409,11 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 func (s *Session) rewriteGuarded(ctx context.Context, q *term.Term) (*term.Term, *rewrite.Stats) {
 	rw, err := s.Rewriter()
 	if err != nil {
-		return q, &rewrite.Stats{Degraded: true, DegradationReason: "rewriter unavailable: " + err.Error()}
+		return q, &rewrite.Stats{
+			Degraded:          true,
+			DegradationReason: "rewriter unavailable: " + err.Error(),
+			DegradationCode:   string(guard.CodeOf(err)),
+		}
 	}
 	rwCtx := ctx
 	cancel := func() {}
@@ -384,6 +430,7 @@ func (s *Session) rewriteGuarded(ctx context.Context, q *term.Term) (*term.Term,
 	}
 	st.Degraded = true
 	st.DegradationReason = err.Error()
+	st.DegradationCode = string(guard.CodeOf(err))
 	if rec := obs.FromContext(ctx); rec != nil {
 		rec.Event("rewrite.degraded", obs.Str("reason", st.DegradationReason))
 	}

@@ -120,6 +120,12 @@ type DB struct {
 	// setting — workers merge in deterministic task order (docs/PERF.md,
 	// "Parallel execution").
 	Parallelism int
+	// Injector, when non-nil, is hit (by uppercase function name) before
+	// every ADT-function invocation during evaluation, so chaos tests can
+	// fire deterministic faults inside live executions (see
+	// guard/faultinject.go for the determinism contract). Injected
+	// faults surface as typed ExternalErrors, like real ADT failures.
+	Injector *guard.Injector
 
 	rels      map[string]*Relation
 	g         *evalGuard // per-EvalCtx guard state (nil outside a call)
@@ -187,6 +193,26 @@ func (db *DB) chargeRows(n int) error {
 // New creates an empty database over a catalog.
 func New(cat *catalog.Catalog) *DB {
 	return &DB{Cat: cat, Objects: map[int64]value.Value{}, rels: map[string]*Relation{}}
+}
+
+// Fork returns a database sharing this one's stored relations, object
+// store and catalog by reference, with private counters, limits, stats
+// and parallelism — the snapshot-sharing primitive behind a session pool:
+// one loaded database serves many concurrent evaluators, each owning its
+// mutable evaluation state. The shared storage is treated as immutable;
+// forks serving concurrent readers must not Load/Insert/SetObject (the
+// server enforces this by accepting only SELECTs). Mode, Limits,
+// Parallelism and Injector are copied as defaults the fork may override.
+func (db *DB) Fork() *DB {
+	return &DB{
+		Cat:         db.Cat,
+		Objects:     db.Objects,
+		Mode:        db.Mode,
+		Limits:      db.Limits,
+		Parallelism: db.Parallelism,
+		Injector:    db.Injector,
+		rels:        db.rels,
+	}
 }
 
 // Load stores rows under a relation name, validating arity against the

@@ -8,7 +8,9 @@ package engine
 // function calls through the catalog's registry.
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"lera/internal/guard"
 	"lera/internal/lera"
@@ -246,6 +248,15 @@ func (db *DB) adtCall(name string, args []value.Value) (v value.Value, err error
 			err = guard.NewExternalPanic(guard.ExtADT, "", name, "", p)
 		}
 	}()
+	if db.Injector != nil {
+		var ctx context.Context
+		if db.g != nil {
+			ctx = db.g.ctx
+		}
+		if ierr := db.Injector.Hit(ctx, strings.ToUpper(name)); ierr != nil {
+			return value.Null, &guard.ExternalError{Kind: guard.ExtADT, External: name, Err: ierr}
+		}
+	}
 	return db.Cat.ADTs.Call(name, args)
 }
 

@@ -78,6 +78,7 @@ func (db *DB) worker(ctx context.Context) *DB {
 		CollectStats: db.CollectStats,
 		Parallelism:  db.Parallelism,
 		rels:         db.rels,
+		Injector:     db.Injector,
 	}
 	wg := &evalGuard{ctx: ctx, lim: g.lim, rows: g.rows, pool: g.pool}
 	if g.cur != nil {

@@ -1,10 +1,32 @@
 package guard
 
-// Deterministic fault injection for externals. Tests register an Injector
-// hit at the head of a constraint/method/builtin/ADT function; the
-// injector counts calls per name and fires the armed fault on the Nth
-// call — panic, error, or stall — so every degradation path of the
-// pipeline is exercised deterministically rather than asserted.
+// Deterministic fault injection for externals and servers. A hit site —
+// the head of a constraint/method/builtin/ADT function (wired pipeline-
+// wide by core.WithInjector), or leraserver's per-request "server.request"
+// hook — reports each call by name; the injector counts calls per name
+// and fires the armed fault — panic, error, or stall — so every
+// degradation path is exercised deterministically rather than asserted.
+//
+// The determinism contract:
+//
+//   - Whether a fault fires depends only on the per-name call count: the
+//     OnCall'th call (or every Every'th call) fires, every other call is
+//     a counted no-op. No randomness, no clocks, no goroutine identity.
+//   - Counting is per name and strictly sequential under the injector's
+//     lock: N calls to Hit("X") are observed as calls 1..N in arrival
+//     order. Under concurrency the *assignment* of indices to callers
+//     follows arrival order at the lock; a test that needs call K to be
+//     a specific request must serialize those requests.
+//   - Reset zeroes the counters but keeps faults armed, so a warm-up
+//     phase can be excluded and the armed schedule replayed exactly.
+//   - The same injector instance may be shared by every consumer of a
+//     pipeline (rewrite constraints/methods/builtins, engine ADT calls,
+//     server request hooks): names are a flat namespace, so arming
+//     "MEMBER" trips the rewriter's and the executor's MEMBER alike.
+//
+// This is the one path chaos testing and unit tests share: leraserver's
+// chaos mode arms the very same Fault values on the very same injector
+// type that the guard/core/engine unit tests use.
 
 import (
 	"context"
@@ -33,9 +55,14 @@ const (
 // Fault is one armed fault.
 type Fault struct {
 	// OnCall is the 1-based call index the fault fires on; 0 fires on
-	// every call.
+	// every call (unless Every narrows it).
 	OnCall int
-	Mode   FaultMode
+	// Every, when positive, fires the fault on every Every'th call
+	// (call indices Every, 2*Every, ...). It composes with OnCall = 0
+	// only; a non-zero OnCall takes precedence. This is the chaos-mode
+	// knob: "every 7th request errors" is Every: 7.
+	Every int
+	Mode  FaultMode
 	// Stall is the FaultStall duration.
 	Stall time.Duration
 	// Err overrides the FaultError error.
@@ -72,6 +99,13 @@ func (in *Injector) Calls(name string) int {
 	return in.calls[name]
 }
 
+// Clear disarms the named external's fault (its call counter is kept).
+func (in *Injector) Clear(name string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.faults, name)
+}
+
 // Reset zeroes all call counters (armed faults stay armed).
 func (in *Injector) Reset() {
 	in.mu.Lock()
@@ -88,8 +122,18 @@ func (in *Injector) Hit(ctx context.Context, name string) error {
 	n := in.calls[name]
 	f, armed := in.faults[name]
 	in.mu.Unlock()
-	if !armed || (f.OnCall != 0 && n != f.OnCall) {
+	if !armed {
 		return nil
+	}
+	switch {
+	case f.OnCall != 0:
+		if n != f.OnCall {
+			return nil
+		}
+	case f.Every > 0:
+		if n%f.Every != 0 {
+			return nil
+		}
 	}
 	switch f.Mode {
 	case FaultPanic:
@@ -102,7 +146,7 @@ func (in *Injector) Hit(ctx context.Context, name string) error {
 		if f.Err != nil {
 			return f.Err
 		}
-		return fmt.Errorf("injected error (%s call %d)", name, n)
+		return fmt.Errorf("%w (%s call %d)", ErrInjected, name, n)
 	case FaultStall:
 		timer := time.NewTimer(f.Stall)
 		defer timer.Stop()

@@ -268,6 +268,12 @@ type Stats struct {
 	// above are then partial — the work done before the failure.
 	Degraded          bool
 	DegradationReason string
+	// DegradationCode is the stable protocol code of the failure that
+	// caused the degradation (guard.CodeOf of the rewrite error): the
+	// same vocabulary servers, shells and harnesses print, so a
+	// "STEP_BUDGET" in a leraserver response and in an edsql notice name
+	// the same event. Empty when not degraded.
+	DegradationCode string
 }
 
 // Options configure a run.
@@ -292,6 +298,13 @@ type Options struct {
 	// differential regression test pins this); FullScan only exists as
 	// that test's oracle and as an escape hatch.
 	FullScan bool
+	// Injector, when non-nil, is hit (by uppercase external name) before
+	// every constraint, method and builtin invocation, so armed faults
+	// fire deterministically inside live rewrites — the shared chaos/test
+	// path (see guard/faultinject.go for the determinism contract).
+	// Injected panics and errors surface as typed ExternalErrors exactly
+	// like faults in real implementor code.
+	Injector *guard.Injector
 }
 
 // DefaultMaxChecks bounds runaway rule systems.
@@ -659,7 +672,10 @@ func (e *Engine) checkConstraints(ctx *Ctx, rule *rules.Rule) (bool, error) {
 
 // evalConstraintSafe isolates a panicking constraint (or any external it
 // reaches, e.g. an ADT function folded by EvalGround) as a typed
-// ExternalError carrying the rule, external name and match site.
+// ExternalError carrying the rule, external name and match site. The
+// fault injector, when armed, is hit first under the same isolation: an
+// injected panic or error is indistinguishable in shape from a real
+// implementor fault.
 func (e *Engine) evalConstraintSafe(ctx *Ctx, c *term.Term) (ok bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -667,7 +683,20 @@ func (e *Engine) evalConstraintSafe(ctx *Ctx, c *term.Term) (ok bool, err error)
 			err = guard.NewExternalPanic(guard.ExtConstraint, ctx.Rule, externalName(c), sitePath(ctx.Site), p)
 		}
 	}()
+	if err := e.injectorHit(ctx, externalName(c)); err != nil {
+		return false, &guard.ExternalError{Kind: guard.ExtConstraint, Rule: ctx.Rule, External: externalName(c), Site: sitePath(ctx.Site), Err: err}
+	}
 	return e.evalConstraint(ctx, c)
+}
+
+// injectorHit reports one external invocation to the armed fault
+// injector, if any. A FaultStall consults the run's cancellation context;
+// a FaultPanic unwinds into the caller's panic isolation.
+func (e *Engine) injectorHit(ctx *Ctx, name string) error {
+	if e.Opts.Injector == nil {
+		return nil
+	}
+	return e.Opts.Injector.Hit(ctx.Context(), strings.ToUpper(name))
 }
 
 func (e *Engine) runMethod(ctx *Ctx, call *term.Term) (ok bool, err error) {
@@ -688,6 +717,9 @@ func (e *Engine) runMethod(ctx *Ctx, call *term.Term) (ok bool, err error) {
 			err = guard.NewExternalPanic(guard.ExtMethod, ctx.Rule, call.Functor, sitePath(ctx.Site), p)
 		}
 	}()
+	if err := e.injectorHit(ctx, call.Functor); err != nil {
+		return false, &guard.ExternalError{Kind: guard.ExtMethod, Rule: ctx.Rule, External: call.Functor, Site: sitePath(ctx.Site), Err: err}
+	}
 	return fn(ctx, args)
 }
 
@@ -800,5 +832,8 @@ func (e *Engine) callBuiltin(ctx *Ctx, s *term.Term, fn BuiltinFn) (t *term.Term
 			err = guard.NewExternalPanic(guard.ExtBuiltin, ctx.Rule, s.Functor, sitePath(ctx.Site), p)
 		}
 	}()
+	if err := e.injectorHit(ctx, s.Functor); err != nil {
+		return nil, &guard.ExternalError{Kind: guard.ExtBuiltin, Rule: ctx.Rule, External: s.Functor, Site: sitePath(ctx.Site), Err: err}
+	}
 	return fn(ctx, s.Args)
 }

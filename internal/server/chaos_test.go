@@ -1,0 +1,193 @@
+package server
+
+// The chaos gate: under a sustained mixed workload with fault injection
+// on, every request receives a typed outcome, nothing hangs, no panic
+// escapes a connection, the server-side ledger accounts for every
+// request, and the server still drains cleanly afterwards.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lera/internal/guard"
+)
+
+func TestParseChaos(t *testing.T) {
+	faults, err := ParseChaos("member:error:every=7, server.request:stall:every=5:stall=20ms, count:panic:on=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 3 {
+		t.Fatalf("parsed %d faults", len(faults))
+	}
+	if faults[0].Name != "MEMBER" || faults[0].Fault.Every != 7 || faults[0].Fault.Mode != guard.FaultError {
+		t.Errorf("fault 0: %+v", faults[0])
+	}
+	if faults[1].Name != RequestHook || faults[1].Fault.Stall != 20*time.Millisecond {
+		t.Errorf("fault 1: %+v", faults[1])
+	}
+	if faults[2].Name != "COUNT" || faults[2].Fault.OnCall != 3 || faults[2].Fault.Mode != guard.FaultPanic {
+		t.Errorf("fault 2: %+v", faults[2])
+	}
+	if f, err := ParseChaos(""); err != nil || f != nil {
+		t.Errorf("empty spec: %v %v", f, err)
+	}
+	for _, bad := range []string{
+		"member",                  // no mode
+		"member:explode",          // unknown mode
+		"member:error:on=zero",    // bad int
+		"member:stall",            // stall without duration
+		"member:error:what=3",     // unknown option
+		"member:error:every=-1",   // negative
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+// TestChaosEveryRequestTyped drives a concurrent mixed workload against a
+// small server with chaos armed at every layer — request-level stalls and
+// panics, execution-level ADT faults — and checks the robustness
+// contract request by request.
+func TestChaosEveryRequestTyped(t *testing.T) {
+	// One fault per injector name (Set replaces): a panic at the request
+	// hook plus an error on every 5th COUNT execution. Stall coverage
+	// lives in the shed and drain tests.
+	chaos, err := ParseChaos("server.request:panic:on=7,count:error:every=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{
+		MaxInFlight: 2,
+		MaxQueue:    2,
+		Chaos:       chaos,
+	})
+
+	queries := []string{
+		filmQuery,
+		"SELECT Title FROM FILM WHERE COUNT(Categories) > 0",
+		"SELECT Name(Refactor1) FROM BETTER_THAN WHERE Name(Refactor2) = 'Quinn'",
+		"this is not esql",
+	}
+
+	const workers = 8
+	const perWorker = 10
+	type account struct {
+		code guard.Code
+		dur  time.Duration
+	}
+	results := make([][]account, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(base)
+			c.Retry.MaxAttempts = 1 // exact request accounting
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				out := c.Query(ctx, queries[(w+i)%len(queries)])
+				cancel()
+				results[w] = append(results[w], account{out.Code, out.Total})
+			}
+		}(w)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("workload hung under chaos")
+	}
+
+	// Every request got a typed outcome from the protocol vocabulary.
+	valid := map[guard.Code]bool{
+		guard.CodeOK: true, guard.CodeParse: true, guard.CodeOverloaded: true,
+		guard.CodeInjected: true, guard.CodeInternal: true, guard.CodeDeadline: true,
+		guard.CodeExternalError: true, guard.CodeExternalPanic: true,
+		guard.CodeCanceled: true,
+	}
+	total := 0
+	byCode := map[guard.Code]int{}
+	for w := range results {
+		for _, a := range results[w] {
+			total++
+			byCode[a.code]++
+			if !valid[a.code] {
+				t.Errorf("untyped outcome %q", a.code)
+			}
+			if a.dur > 10*time.Second {
+				t.Errorf("request took %v under chaos", a.dur)
+			}
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("accounted %d outcomes, want %d", total, workers*perWorker)
+	}
+
+	// The server-side ledger covers every request: received = answered.
+	m := srv.Metrics()
+	requests := m.Counter("lera_server_requests_total", "").Value()
+	answered := m.Counter("lera_server_queries_ok_total", "").Value() +
+		m.Counter("lera_server_query_errors_total", "").Value()
+	if requests != int64(total) {
+		t.Errorf("server saw %d requests, clients sent %d", requests, total)
+	}
+	if answered != requests {
+		t.Errorf("dropped-but-unreported requests: received %d, answered %d", requests, answered)
+	}
+	// The armed faults actually fired.
+	if srv.Injector().Calls(RequestHook) == 0 {
+		t.Error("request hook never hit")
+	}
+	if m.Counter("lera_server_panics_total", "").Value() == 0 {
+		t.Error("injected request panic never isolated")
+	}
+	if byCode[guard.CodeOK] == total {
+		t.Error("chaos run produced no failures at all")
+	}
+
+	// And the server still drains cleanly (startServer's cleanup checks
+	// the error); a healthz probe still answers first.
+	out := NewClient(base).Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOK {
+		t.Errorf("post-chaos query: %s", out.Code)
+	}
+}
+
+// TestChaosPanicReplacesSession: an execution-layer panic that escapes
+// the pipeline's own isolation is caught by the per-request recover and
+// the suspect pooled session is replaced — the pool never shrinks and
+// later queries still answer.
+func TestChaosPanicReplacesSession(t *testing.T) {
+	srv, base := startServer(t, Config{MaxInFlight: 1})
+	// ADT panics are isolated inside adtCall and come back as
+	// EXTERNAL_PANIC without poisoning the session.
+	srv.Injector().Set("COUNT", guard.Fault{OnCall: 1, Mode: guard.FaultPanic})
+
+	c := NewClient(base)
+	out := c.Query(context.Background(), "SELECT Title FROM FILM WHERE COUNT(Categories) > 0")
+	if out.Code != guard.CodeExternalPanic {
+		t.Fatalf("code = %s, want EXTERNAL_PANIC (%+v)", out.Code, out.Resp)
+	}
+
+	// Request-hook panics hit the outer recover (INTERNAL, isolated).
+	srv.Injector().Set(RequestHook, guard.Fault{OnCall: srv.Injector().Calls(RequestHook) + 1, Mode: guard.FaultPanic})
+	out = c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeInternal {
+		t.Fatalf("request panic code = %s, want INTERNAL", out.Code)
+	}
+
+	// The server keeps answering afterwards with the full pool.
+	for i := 0; i < 3; i++ {
+		if out := c.Query(context.Background(), filmQuery); out.Code != guard.CodeOK {
+			t.Fatalf("post-panic query %d: %s", i, out.Code)
+		}
+	}
+	if srv.Metrics().Counter("lera_server_panics_total", "").Value() == 0 {
+		t.Error("panic isolation counter is zero")
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+// The line protocol: a newline-delimited request/response framing for
+// scripts, loadgen and netcat, multiplexed on the same listener as HTTP.
+// Protocol sniffing keys on the first byte of the connection — HTTP
+// methods ("GET", "POST", ...) are uppercase ASCII, line-protocol verbs
+// are lowercase — so one port serves both.
+//
+// Requests (one per line):
+//
+//	tenant <name>    set this connection's tenant (echoes "ok <name>")
+//	query <esql>     run one SELECT; answers one JSON Response line
+//	q <esql>         shorthand for query
+//	ping             liveness check (echoes "pong")
+//	quit             close the connection
+//
+// Every query answers exactly one JSON line — the same Response shape the
+// HTTP API returns, same code vocabulary, so a client speaking either
+// protocol sees identical outcomes.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// serveLine runs the line protocol on one sniffed connection until EOF,
+// quit, or drain-time close.
+func (s *Server) serveLine(conn net.Conn, br *bufio.Reader) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	tenant := ""
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(verb) {
+		case "quit", "exit":
+			fmt.Fprintln(w, "bye")
+			_ = w.Flush()
+			return
+		case "ping":
+			fmt.Fprintln(w, "pong")
+		case "tenant":
+			name, _ := s.cfg.Tenants.Resolve(rest)
+			tenant = rest
+			fmt.Fprintf(w, "ok %s\n", name)
+		case "query", "q":
+			resp := s.handleQuery(s.requestCtx(conn), tenant, rest)
+			b, err := json.Marshal(resp)
+			if err != nil {
+				b, _ = json.Marshal(Response{Code: "INTERNAL", Error: "response encoding failed"})
+			}
+			w.Write(b)
+			w.WriteByte('\n')
+		default:
+			fmt.Fprintf(w, "error unknown verb %q (tenant|query|ping|quit)\n", verb)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// requestCtx derives the per-request context for a line-protocol query:
+// the server's base context, cancelled at the drain deadline. The
+// connection itself is the client's cancellation signal; drain-time close
+// unblocks any pending read or write.
+func (s *Server) requestCtx(net.Conn) context.Context { return s.baseCtx }

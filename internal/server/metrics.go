@@ -1,0 +1,81 @@
+package server
+
+// Server metrics (the lera_server_* family, docs/OBSERVABILITY.md). They
+// live in the same obs.Registry as the session-level lera_* metrics, so
+// one /metrics scrape shows the whole stack: admission decisions and tail
+// latency next to rewrite and execution counters.
+
+import (
+	"strings"
+	"time"
+
+	"lera/internal/guard"
+	"lera/internal/obs"
+)
+
+// metrics bundles the server's registry handles. All underlying types are
+// atomic; the bundle is shared freely across connection goroutines.
+type metrics struct {
+	reg *obs.Registry
+
+	requests    *obs.Counter // every query received, any protocol
+	admitted    *obs.Counter // passed admission control
+	shed        *obs.Counter // refused with OVERLOADED
+	drainReject *obs.Counter // refused with DRAINING
+	ok          *obs.Counter // answered with code OK
+	errors      *obs.Counter // answered with a non-OK code (shed included)
+	degraded    *obs.Counter // answered OK from the fallback plan
+	panics      *obs.Counter // per-request panic isolation fired
+	chaos       *obs.Counter // chaos faults that fired at the request hook
+
+	inFlight    *obs.Gauge // queries currently executing
+	queued      *obs.Gauge // queries waiting for an execution slot
+	connections *obs.Gauge // open client connections (both protocols)
+	sessions    *obs.Gauge // pooled sessions (constant after boot)
+	drainState  *obs.Gauge // 0 serving, 1 draining
+
+	latency *obs.Histogram // request wall-clock seconds (admitted or not)
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:         reg,
+		requests:    reg.Counter("lera_server_requests_total", "queries received over all protocols"),
+		admitted:    reg.Counter("lera_server_admitted_total", "queries that passed admission control"),
+		shed:        reg.Counter("lera_server_shed_total", "queries shed with OVERLOADED at admission"),
+		drainReject: reg.Counter("lera_server_draining_rejected_total", "queries refused with DRAINING"),
+		ok:          reg.Counter("lera_server_queries_ok_total", "queries answered with code OK"),
+		errors:      reg.Counter("lera_server_query_errors_total", "queries answered with a non-OK code"),
+		degraded:    reg.Counter("lera_server_degraded_total", "queries answered from the rewrite fallback plan"),
+		panics:      reg.Counter("lera_server_panics_total", "request panics isolated by the per-request recover"),
+		chaos:       reg.Counter("lera_server_chaos_faults_total", "chaos faults fired at the server.request hook"),
+		inFlight:    reg.Gauge("lera_server_in_flight", "queries currently executing"),
+		queued:      reg.Gauge("lera_server_queued", "queries waiting for an execution slot"),
+		connections: reg.Gauge("lera_server_connections", "open client connections"),
+		sessions:    reg.Gauge("lera_server_sessions", "pooled sessions"),
+		drainState:  reg.Gauge("lera_server_draining", "1 while the server is draining"),
+		latency:     reg.Histogram("lera_server_request_seconds", "request wall-clock latency in seconds", nil),
+	}
+}
+
+// code counts one response by protocol code: a per-code counter named
+// lera_server_code_<code>_total (codes are a small closed vocabulary, so
+// the metric set stays bounded).
+func (m *metrics) code(c guard.Code) {
+	m.reg.Counter("lera_server_code_"+strings.ToLower(string(c))+"_total",
+		"responses with code "+string(c)).Inc()
+}
+
+// observe records one finished request.
+func (m *metrics) observe(c guard.Code, degraded bool, d time.Duration) {
+	m.latency.Observe(d.Seconds())
+	m.code(c)
+	if c == guard.CodeOK {
+		m.ok.Inc()
+		if degraded {
+			m.degraded.Inc()
+		}
+	} else {
+		m.errors.Inc()
+	}
+}

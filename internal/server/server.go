@@ -1,0 +1,678 @@
+// Package server is the multi-tenant network front end over the LERA
+// pipeline: an HTTP/JSON API and a newline-delimited line protocol on
+// one listener, a bounded pool of forked core.Sessions over a shared
+// immutable catalog + rule base + data snapshot, per-tenant guard
+// budgets, admission control with typed shedding (guard.Gate), graceful
+// drain, per-request panic isolation, and a deterministic chaos mode
+// (guard.Injector) so every overload and fault path is testable rather
+// than asserted. See docs/SERVER.md.
+//
+// The robustness contract: every request receives exactly one typed
+// outcome — rows, a degraded-but-correct answer with the degradation
+// code, a typed budget/fault error code, or an explicit OVERLOADED /
+// DRAINING shed. No hangs, no panics escaping a connection, and rows and
+// engine counters for admitted queries are bit-identical to the embedded
+// Session path (the pool forks are snapshots of the very same session).
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"lera/internal/core"
+	"lera/internal/engine"
+	"lera/internal/esql"
+	"lera/internal/guard"
+	"lera/internal/obs"
+	"lera/internal/testdb"
+)
+
+// Config configures a Server. The zero value is usable for tests: an
+// empty database, default pool and admission bounds, no tenants file, no
+// chaos.
+type Config struct {
+	// InitESQL is executed on the boot session before forking the pool:
+	// DDL, views and INSERTs that define the served snapshot.
+	InitESQL string
+	// LoadFilms loads the paper's Figure 2-5 example database (schema,
+	// views, sample rows and objects), like edsql's \films.
+	LoadFilms bool
+	// Rules is extra rule-language source merged into the rule base
+	// (core.WithRules).
+	Rules string
+	// MaxInFlight bounds concurrently executing queries; it is also the
+	// session-pool size. Default 8.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond it,
+	// requests shed with OVERLOADED. Default (0) is 2*MaxInFlight;
+	// negative means no queue at all — shed the moment all slots are
+	// busy.
+	MaxQueue int
+	// DrainTimeout bounds the graceful-drain wait for in-flight work;
+	// after it, in-flight contexts are cancelled and the server waits
+	// DrainGrace for the cancellations to land. Default 10s.
+	DrainTimeout time.Duration
+	// DrainGrace bounds the post-cancel wait. Default 2s.
+	DrainGrace time.Duration
+	// Parallelism is each pooled session's intra-query worker pool size
+	// (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+	// Tenants maps tenant names to guard budgets (see tenant.go). Nil
+	// serves every request under unlimited default limits.
+	Tenants Tenants
+	// Chaos is the armed fault schedule (see chaos.go). Empty = off.
+	Chaos []ChaosFault
+	// Injector, when non-nil, is used instead of a fresh one — tests arm
+	// and inspect it directly. Chaos faults are armed on it either way.
+	Injector *guard.Injector
+	// Observer, when non-nil, supplies the metrics registry; default a
+	// fresh observer (metrics only, no tracing).
+	Observer *obs.Observer
+	// ErrorLog, when non-nil, receives one line per isolated panic and
+	// drain-phase event.
+	ErrorLog io.Writer
+}
+
+// Response is the JSON answer to one query, and the single vocabulary
+// both protocols speak: Code is always set; OK responses carry columns
+// and rows (plus the degradation record when the rewriter fell back);
+// every failure carries the typed code and message. Rows are rendered
+// values (value.Value.String), bit-identical to what FormatResult prints
+// for the embedded session.
+type Response struct {
+	Code    string `json:"code"`
+	Error   string `json:"error,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	RowsN   int    `json:"rowCount"`
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedCode   string `json:"degradedCode,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+
+	// Counters is the engine work-counter delta of this query alone —
+	// the bit-identity witness against the embedded session.
+	Counters *engine.Counters `json:"counters,omitempty"`
+	// ElapsedNs is the server-side wall clock for the whole request,
+	// admission wait included.
+	ElapsedNs int64 `json:"elapsedNs"`
+}
+
+// Server is one running instance. Build with New, run with Serve (or
+// ListenAndServe), stop with Drain.
+type Server struct {
+	cfg  Config
+	obs  *obs.Observer
+	m    *metrics
+	gate *guard.Gate
+	inj  *guard.Injector
+
+	base *core.Session
+	pool chan *core.Session
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	httpLn  *chanListener
+	httpSrv *http.Server
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	drained  chan struct{}
+	drainErr error
+	drainOnce sync.Once
+}
+
+// New boots a server: builds the base session, executes the init ESQL,
+// loads the example database if asked, and forks the session pool. Any
+// init failure is returned here — a server that starts is a server whose
+// snapshot and rule base are known-good.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 2 * time.Second
+	}
+	inj := cfg.Injector
+	if inj == nil {
+		inj = guard.NewInjector()
+	}
+	Arm(inj, cfg.Chaos)
+
+	ob := cfg.Observer
+	if ob == nil {
+		ob = obs.NewObserver()
+	}
+
+	var opts []core.Option
+	if cfg.Rules != "" {
+		opts = append(opts, core.WithRules(cfg.Rules))
+	}
+	opts = append(opts, core.WithInjector(inj))
+	base := core.NewSession(opts...)
+	base.Obs = ob
+	base.Parallelism = cfg.Parallelism
+	if cfg.LoadFilms {
+		if err := loadFilms(base); err != nil {
+			return nil, fmt.Errorf("server: loading example database: %w", err)
+		}
+	}
+	if cfg.InitESQL != "" {
+		if _, err := base.Exec(cfg.InitESQL); err != nil {
+			return nil, fmt.Errorf("server: init script: %w", err)
+		}
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		obs:     ob,
+		m:       newMetrics(ob.Metrics),
+		gate:    guard.NewGate(cfg.MaxInFlight, cfg.MaxQueue),
+		inj:     inj,
+		base:    base,
+		pool:    make(chan *core.Session, cfg.MaxInFlight),
+		conns:   map[net.Conn]struct{}{},
+		drained: make(chan struct{}),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		fork, err := base.Fork()
+		if err != nil {
+			return nil, fmt.Errorf("server: forking session pool: %w", err)
+		}
+		s.pool <- fork
+	}
+	s.m.sessions.Set(int64(cfg.MaxInFlight))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleHTTPQuery)
+	mux.Handle("/metrics", ob.Metrics.Handler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.httpSrv = &http.Server{
+		Handler:     mux,
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
+	return s, nil
+}
+
+// loadFilms mirrors edsql's \films: the Figure 2 schema, Figure 4/5
+// views, and the sample instance with its actor objects.
+func loadFilms(s *core.Session) error {
+	for _, src := range []string{esql.Figure2DDL, esql.Figure4View, esql.Figure5View} {
+		if _, err := s.Exec(src); err != nil {
+			return err
+		}
+	}
+	inst, err := testdb.Data()
+	if err != nil {
+		return err
+	}
+	for name, rows := range inst.Rows {
+		if err := s.DB.Load(name, rows); err != nil {
+			return err
+		}
+	}
+	for oid, obj := range inst.Objects {
+		s.SetObject(oid, obj)
+	}
+	return nil
+}
+
+// Injector returns the server's fault injector (chaos faults are armed on
+// it; tests arm more and read call counts).
+func (s *Server) Injector() *guard.Injector { return s.inj }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Registry { return s.obs.Metrics }
+
+// ListenAndServe listens on addr and serves until Drain completes or the
+// listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln, sniffing each connection's first byte
+// to route it: HTTP methods are uppercase ASCII, line-protocol verbs are
+// lowercase, so one port serves both. Serve blocks until Drain finishes
+// (returning the drain result) or the listener fails.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.httpLn = newChanListener(ln.Addr())
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- s.httpSrv.Serve(s.httpLn) }()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				<-s.drained
+				<-httpDone // http.Server exits once its chan listener closes
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return s.drainErr
+			}
+			return err
+		}
+		go s.dispatch(conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// dispatch sniffs one connection and hands it to the right protocol.
+func (s *Server) dispatch(conn net.Conn) {
+	s.trackConn(conn, true)
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	first, err := br.Peek(1)
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		s.trackConn(conn, false)
+		_ = conn.Close()
+		return
+	}
+	pc := &peekedConn{Conn: conn, r: br}
+	if first[0] >= 'A' && first[0] <= 'Z' {
+		// HTTP request line ("GET ", "POST ", ...): the HTTP server owns
+		// the connection from here; its lifecycle untracks it.
+		s.httpLn.deliver(pc, func() { s.trackConn(conn, false) })
+		return
+	}
+	defer s.trackConn(conn, false)
+	s.serveLine(pc, br)
+}
+
+// trackConn maintains the connection set (for drain-time close) and the
+// connections gauge.
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+	n := len(s.conns)
+	s.mu.Unlock()
+	s.m.connections.Set(int64(n))
+}
+
+// handleQuery is the one request path both protocols share: chaos hook,
+// admission, session checkout, guarded execution, typed response. It
+// never panics — a panic anywhere inside is isolated per request,
+// counted, and answered as INTERNAL.
+func (s *Server) handleQuery(ctx context.Context, tenant, query string) (resp Response) {
+	t0 := time.Now()
+	s.m.requests.Inc()
+	tenantName, limits := s.cfg.Tenants.Resolve(tenant)
+	resp.Tenant = tenantName
+
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Inc()
+			s.logf("panic isolated in request (tenant %s): %v", tenantName, p)
+			resp = Response{Code: string(guard.CodeInternal), Tenant: tenantName,
+				Error: fmt.Sprintf("internal panic (isolated): %v", p)}
+		}
+		resp.ElapsedNs = time.Since(t0).Nanoseconds()
+		s.m.observe(guard.Code(resp.Code), resp.Degraded, time.Since(t0))
+		s.m.inFlight.Set(int64(s.gate.InFlight()))
+		s.m.queued.Set(int64(s.gate.Queued()))
+	}()
+
+	// Chaos hook: deterministic latency/error/panic injection at the
+	// request level, before admission (a stalled request occupies no
+	// execution slot, like a slow client).
+	if err := s.inj.Hit(ctx, RequestHook); err != nil {
+		s.m.chaos.Inc()
+		return s.errResponse(tenantName, err)
+	}
+
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, guard.ErrOverloaded):
+			s.m.shed.Inc()
+		case errors.Is(err, guard.ErrDraining):
+			s.m.drainReject.Inc()
+		}
+		return s.errResponse(tenantName, err)
+	}
+	defer release()
+	s.m.admitted.Inc()
+	s.m.inFlight.Set(int64(s.gate.InFlight()))
+
+	sess := <-s.pool
+	healthy := true
+	defer func() {
+		if healthy {
+			s.pool <- sess
+		} else {
+			// The session panicked mid-query; its internal state is
+			// suspect. Replace it with a fresh fork of the immutable
+			// boot snapshot so the pool never shrinks.
+			fork, ferr := s.base.Fork()
+			if ferr != nil {
+				s.logf("session replacement failed, recycling suspect session: %v", ferr)
+				fork = sess
+			}
+			s.pool <- fork
+		}
+	}()
+	sess.Limits = limits
+
+	var res *core.Result
+	err = func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				healthy = false
+				s.m.panics.Inc()
+				s.logf("panic isolated in query (tenant %s): %v", tenantName, p)
+				err = fmt.Errorf("internal panic (isolated): %v", p)
+			}
+		}()
+		res, err = sess.QueryCtx(ctx, query)
+		return err
+	}()
+	if err != nil {
+		return s.errResponse(tenantName, err)
+	}
+
+	resp.Code = string(guard.CodeOK)
+	for _, row := range res.Rows {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	resp.RowsN = len(res.Rows)
+	resp.Columns = res.Columns
+	if st := res.RewriteStats(); st.Degraded {
+		resp.Degraded = true
+		resp.DegradedCode = st.DegradationCode
+		resp.DegradedReason = st.DegradationReason
+	}
+	if res.Report != nil {
+		c := res.Report.ExecCounters
+		resp.Counters = &c
+	}
+	return resp
+}
+
+// errResponse builds the typed failure response for an error. A nil
+// result (parse/translate failure) that classifies as INTERNAL is
+// reported as PARSE: the request never reached the guarded pipeline, so
+// the failure is in the request text, not the server.
+func (s *Server) errResponse(tenant string, err error) Response {
+	code := guard.CodeOf(err)
+	if code == guard.CodeInternal && isRequestError(err) {
+		code = guard.CodeParse
+	}
+	return Response{Code: string(code), Tenant: tenant, Error: err.Error()}
+}
+
+// isRequestError reports whether the error came from parsing/translating
+// the request text rather than from executing it.
+func isRequestError(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "parse") || strings.Contains(msg, "esql") ||
+		strings.Contains(msg, "translate") || strings.Contains(msg, "unknown")
+}
+
+// handleHTTPQuery serves POST /query {"tenant": "...", "query": "..."}
+// (or GET /query?q=...&tenant=...) with a Response body and the HTTP
+// status mapped from the code.
+func (s *Server) handleHTTPQuery(w http.ResponseWriter, r *http.Request) {
+	var tenant, query string
+	switch r.Method {
+	case http.MethodPost:
+		var req struct {
+			Tenant string `json:"tenant"`
+			Query  string `json:"query"`
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			err = json.Unmarshal(body, &req)
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, Response{Code: string(guard.CodeParse), Error: "bad request body: " + err.Error()})
+			return
+		}
+		tenant, query = req.Tenant, req.Query
+	case http.MethodGet:
+		tenant, query = r.URL.Query().Get("tenant"), r.URL.Query().Get("q")
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Code: string(guard.CodeParse), Error: "use GET or POST"})
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		writeJSON(w, http.StatusBadRequest, Response{Code: string(guard.CodeParse), Error: "empty query"})
+		return
+	}
+	resp := s.handleQuery(r.Context(), tenant, query)
+	writeJSON(w, httpStatus(guard.Code(resp.Code)), resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "inFlight": s.gate.InFlight(), "queued": s.gate.Queued()})
+}
+
+// httpStatus maps protocol codes onto HTTP statuses. Degraded answers are
+// 200: the client got correct rows; the degradation is in the body.
+func httpStatus(c guard.Code) int {
+	switch c {
+	case guard.CodeOK:
+		return http.StatusOK
+	case guard.CodeParse:
+		return http.StatusBadRequest
+	case guard.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case guard.CodeDraining:
+		return http.StatusServiceUnavailable
+	case guard.CodeDeadline:
+		return http.StatusGatewayTimeout
+	case guard.CodeCanceled:
+		return http.StatusRequestTimeout
+	case guard.CodeStepBudget, guard.CodeTermSize, guard.CodeRowBudget:
+		return http.StatusUnprocessableEntity
+	default: // INJECTED, EXTERNAL_*, INTERNAL
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// Drain gracefully shuts the server down: stop accepting connections,
+// refuse new queries with DRAINING, wait DrainTimeout for in-flight work,
+// cancel what remains and wait DrainGrace for the cancellations to land,
+// then close surviving connections and flush a final metrics snapshot to
+// ErrorLog. Idempotent; concurrent callers share one drain. The returned
+// error is nil on a clean drain and the typed deadline error when
+// in-flight work had to be cancelled or outlived the grace period.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drain(ctx) })
+	<-s.drained
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.m.drainState.Set(1)
+	if ln != nil {
+		_ = ln.Close() // stop accepting; Serve's accept loop sees draining
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.gate.Drain(dctx)
+	if err != nil {
+		// In-flight work outlived the deadline: cancel it and give the
+		// cancellations a bounded grace period to unwind.
+		s.logf("drain deadline after %v with %d in flight; cancelling", s.cfg.DrainTimeout, s.gate.InFlight())
+		s.cancel()
+		gctx, gcancel := context.WithTimeout(context.Background(), s.cfg.DrainGrace)
+		if gerr := s.gate.Drain(gctx); gerr == nil {
+			err = fmt.Errorf("%w (in-flight work cancelled at drain deadline)", guard.ErrDeadline)
+		} else {
+			err = fmt.Errorf("%w (work still stuck after cancel+grace)", guard.ErrDeadline)
+		}
+		gcancel()
+	}
+	s.cancel() // idle pool sessions need no context beyond this point
+
+	// Close the HTTP side and any line connections still open.
+	sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+	_ = s.httpSrv.Shutdown(sctx)
+	scancel()
+	if s.httpLn != nil {
+		_ = s.httpLn.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+	s.m.connections.Set(0)
+	s.m.drainState.Set(0)
+
+	// Flush the final metrics snapshot so a supervised process leaves a
+	// complete account even though /metrics just went away.
+	if s.cfg.ErrorLog != nil {
+		fmt.Fprintln(s.cfg.ErrorLog, "# final metrics snapshot")
+		_ = s.obs.Metrics.WritePrometheus(s.cfg.ErrorLog)
+	}
+	s.mu.Lock()
+	s.drainErr = err
+	s.mu.Unlock()
+	close(s.drained)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.ErrorLog != nil {
+		fmt.Fprintf(s.cfg.ErrorLog, "leraserver: "+format+"\n", args...)
+	}
+}
+
+// --- listener plumbing -------------------------------------------------
+
+// peekedConn is a net.Conn whose first bytes were consumed into a
+// bufio.Reader by protocol sniffing; reads drain the buffer first.
+type peekedConn struct {
+	net.Conn
+	r *bufio.Reader
+	onClose func()
+	closeOnce sync.Once
+}
+
+func (c *peekedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+func (c *peekedConn) Close() error {
+	err := c.Conn.Close()
+	c.closeOnce.Do(func() {
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+	return err
+}
+
+// chanListener adapts sniffed connections into a net.Listener for
+// http.Server.
+type chanListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+	done chan struct{}
+	once sync.Once
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{ch: make(chan net.Conn), addr: addr, done: make(chan struct{})}
+}
+
+// deliver hands a sniffed connection to the HTTP server; onClose fires
+// when the HTTP side closes it (or immediately when the listener is
+// already closed).
+func (l *chanListener) deliver(c *peekedConn, onClose func()) {
+	c.onClose = onClose
+	select {
+	case l.ch <- c:
+	case <-l.done:
+		_ = c.Close()
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *chanListener) Addr() net.Addr { return l.addr }

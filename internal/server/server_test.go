@@ -1,0 +1,322 @@
+package server
+
+// Server behavior under normal load: bit-identity with the embedded
+// session, both protocols on one listener, typed shedding, per-tenant
+// budgets, typed parse errors, and a clean /metrics scrape.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lera/internal/core"
+	"lera/internal/guard"
+	"lera/internal/obs"
+)
+
+const filmQuery = "SELECT Title FROM FILM WHERE Numf > 0"
+
+// startServer boots a server on a loopback port and returns it plus its
+// base URL. The server drains on test cleanup.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.LoadFilms = true
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("Serve did not return after Drain")
+		}
+	})
+	return srv, "http://" + ln.Addr().String()
+}
+
+// TestServerBitIdenticalToEmbedded: the served rows and engine counters
+// for an admitted query match an embedded session over the same snapshot
+// exactly.
+func TestServerBitIdenticalToEmbedded(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	embedded := core.NewSession()
+	embedded.Obs = obs.NewObserver()
+	if err := loadFilms(embedded); err != nil {
+		t.Fatal(err)
+	}
+	want, err := embedded.Query(filmQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewClient(base)
+	out := c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOK {
+		t.Fatalf("code = %s (%v)", out.Code, out.Err)
+	}
+	resp := out.Resp
+	if resp.RowsN != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", resp.RowsN, len(want.Rows))
+	}
+	if strings.Join(resp.Columns, ",") != strings.Join(want.Columns, ",") {
+		t.Fatalf("columns = %v, want %v", resp.Columns, want.Columns)
+	}
+	for i, row := range resp.Rows {
+		for j, v := range row {
+			if v != want.Rows[i][j].String() {
+				t.Fatalf("row %d col %d = %q, want %q", i, j, v, want.Rows[i][j].String())
+			}
+		}
+	}
+	if resp.Counters == nil {
+		t.Fatal("response carries no engine counters")
+	}
+	if *resp.Counters != want.Report.ExecCounters {
+		t.Errorf("served counters %+v differ from embedded %+v", *resp.Counters, want.Report.ExecCounters)
+	}
+}
+
+// TestServerLineProtocol: the lowercase line protocol shares the listener
+// with HTTP and answers the same JSON Response per query.
+func TestServerLineProtocol(t *testing.T) {
+	srv, base := startServer(t, Config{
+		Tenants: Tenants{"free": {MaxRows: 1000}},
+	})
+	_ = srv
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	send := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	if got := send("ping"); got != "pong" {
+		t.Fatalf("ping = %q", got)
+	}
+	if got := send("tenant free"); got != "ok free" {
+		t.Fatalf("tenant = %q", got)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(send("query "+filmQuery)), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != string(guard.CodeOK) || resp.RowsN == 0 {
+		t.Fatalf("line query: %+v", resp)
+	}
+	if resp.Tenant != "free" {
+		t.Fatalf("tenant echoed %q, want free", resp.Tenant)
+	}
+	if err := json.Unmarshal([]byte(send("q nonsense !!")), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != string(guard.CodeParse) {
+		t.Fatalf("bad query code = %s", resp.Code)
+	}
+	if got := send("quit"); got != "bye" {
+		t.Fatalf("quit = %q", got)
+	}
+}
+
+// TestServerShedsWhenOverloaded: with one execution slot and no queue, a
+// stalled in-flight query makes concurrent arrivals shed with OVERLOADED
+// (HTTP 429) — typed, immediate, no hang.
+func TestServerShedsWhenOverloaded(t *testing.T) {
+	srv, base := startServer(t, Config{MaxInFlight: 1, MaxQueue: -1})
+	// Every COUNT ADT call stalls; the query below hits it once per film
+	// row, so the request holds its execution slot for ~1.2s.
+	srv.Injector().Set("COUNT", guard.Fault{Mode: guard.FaultStall, Stall: 300 * time.Millisecond})
+
+	slow := make(chan Outcome, 1)
+	go func() {
+		c := NewClient(base)
+		c.Retry.MaxAttempts = 1
+		slow <- c.Query(context.Background(), "SELECT Title FROM FILM WHERE COUNT(Categories) > 0")
+	}()
+
+	// Wait until the slow query holds the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.gate.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never entered execution")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c := NewClient(base)
+	c.Retry.MaxAttempts = 1 // observe the shed itself
+	out := c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOverloaded {
+		t.Fatalf("code = %s, want OVERLOADED (%+v)", out.Code, out.Resp)
+	}
+	if s := <-slow; s.Code != guard.CodeOK {
+		t.Fatalf("slow query code = %s", s.Code)
+	}
+	if n := srv.Metrics().Counter("lera_server_shed_total", "").Value(); n == 0 {
+		t.Error("shed counter never incremented")
+	}
+
+	// With retries enabled the same overload resolves once the slot
+	// frees: the client's backoff absorbs it.
+	srv.Injector().Reset()
+	srv.Injector().Clear("COUNT")
+	c2 := NewClient(base)
+	out = c2.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOK {
+		t.Fatalf("post-overload query code = %s", out.Code)
+	}
+}
+
+// TestServerTenantBudgets: a tenant's guard budget applies per request
+// and surfaces as the typed code with its HTTP status; unknown tenants
+// fall back to default limits and say so.
+func TestServerTenantBudgets(t *testing.T) {
+	_, base := startServer(t, Config{
+		Tenants: Tenants{
+			"default": {},
+			"tiny":    {MaxRows: 1},
+		},
+	})
+
+	c := NewClient(base)
+	c.Tenant = "tiny"
+	out := c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeRowBudget {
+		t.Fatalf("tiny tenant code = %s, want ROW_BUDGET (%+v)", out.Code, out.Resp)
+	}
+
+	// Same query, unknown tenant: served under default (unlimited).
+	c.Tenant = "nobody"
+	out = c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOK {
+		t.Fatalf("unknown tenant code = %s", out.Code)
+	}
+	if out.Resp.Tenant != DefaultTenant {
+		t.Fatalf("unknown tenant resolved to %q, want %q", out.Resp.Tenant, DefaultTenant)
+	}
+}
+
+// TestServerHTTPStatuses: the code→status mapping on the wire.
+func TestServerHTTPStatuses(t *testing.T) {
+	_, base := startServer(t, Config{Tenants: Tenants{"tiny": {MaxRows: 1}}})
+
+	post := func(tenant, query string) (int, Response) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"tenant": tenant, "query": query})
+		resp, err := http.Post(base+"/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, r
+	}
+
+	if st, r := post("", filmQuery); st != http.StatusOK || r.Code != "OK" {
+		t.Errorf("ok query: %d %s", st, r.Code)
+	}
+	if st, r := post("", "garbage"); st != http.StatusBadRequest || r.Code != "PARSE" {
+		t.Errorf("parse error: %d %s", st, r.Code)
+	}
+	if st, r := post("tiny", filmQuery); st != http.StatusUnprocessableEntity || r.Code != "ROW_BUDGET" {
+		t.Errorf("row budget: %d %s", st, r.Code)
+	}
+}
+
+// TestServerMetricsScrape: /metrics yields a parseable Prometheus text
+// exposition containing the lera_server_* family with consistent
+// accounting (requests = admitted + shed + rejected + pre-admission
+// failures).
+func TestServerMetricsScrape(t *testing.T) {
+	_, base := startServer(t, Config{})
+	c := NewClient(base)
+	for i := 0; i < 5; i++ {
+		if out := c.Query(context.Background(), filmQuery); out.Code != guard.CodeOK {
+			t.Fatalf("query %d: %s", i, out.Code)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"lera_server_requests_total 5",
+		"lera_server_admitted_total 5",
+		"lera_server_queries_ok_total 5",
+		"lera_server_code_ok_total 5",
+		"lera_server_request_seconds_count 5",
+		"lera_server_sessions",
+		"lera_queries_total", // session metrics share the scrape
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+// TestServerHealthz flips to 503 draining.
+func TestServerHealthz(t *testing.T) {
+	srv, base := startServer(t, Config{})
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

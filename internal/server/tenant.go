@@ -1,0 +1,106 @@
+package server
+
+// Tenant configuration: per-tenant guard budgets. A tenant is a named
+// class of clients — "free" and "paid" tiers, an internal dashboard, a
+// batch pipeline — each with its own guard.Limits so one tenant's
+// pathological query burns its own budget, not the server's. The special
+// name "default" supplies the limits for requests that name no tenant or
+// an unknown one (unknown tenants are served under default limits and
+// reported in the response, so a typo degrades service predictably
+// instead of failing closed).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"lera/internal/guard"
+)
+
+// DefaultTenant is the tenant name used when a request names none.
+const DefaultTenant = "default"
+
+// TenantLimits is the JSON shape of one tenant's budget. Zero fields mean
+// "unlimited", exactly like the corresponding guard.Limits fields.
+type TenantLimits struct {
+	// TimeoutMs is the per-phase wall-clock budget in milliseconds
+	// (applied to rewrite and execution separately, like edsql
+	// --timeout).
+	TimeoutMs int `json:"timeoutMs"`
+	// MaxSteps caps committed rule applications per query.
+	MaxSteps int `json:"maxSteps"`
+	// MaxTermSize caps the query term's node count during rewriting.
+	MaxTermSize int `json:"maxTermSize"`
+	// MaxRows caps rows materialized during execution.
+	MaxRows int `json:"maxRows"`
+	// MaxFixIterations caps each fixpoint instance's rounds.
+	MaxFixIterations int `json:"maxFixIterations"`
+}
+
+// Limits converts the JSON shape into a guard budget.
+func (t TenantLimits) Limits() guard.Limits {
+	return guard.Limits{
+		Timeout:          time.Duration(t.TimeoutMs) * time.Millisecond,
+		MaxSteps:         t.MaxSteps,
+		MaxTermSize:      t.MaxTermSize,
+		MaxRows:          t.MaxRows,
+		MaxFixIterations: t.MaxFixIterations,
+	}
+}
+
+// Tenants maps tenant names to their limits.
+type Tenants map[string]TenantLimits
+
+// ParseTenants decodes a tenant-config JSON object:
+//
+//	{"default": {"timeoutMs": 2000, "maxRows": 100000},
+//	 "free":    {"timeoutMs": 250,  "maxRows": 10000, "maxSteps": 500}}
+func ParseTenants(r io.Reader) (Tenants, error) {
+	var t Tenants
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("server: tenant config: %w", err)
+	}
+	return t, nil
+}
+
+// LoadTenants reads a tenant-config file.
+func LoadTenants(path string) (Tenants, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant config: %w", err)
+	}
+	defer f.Close()
+	return ParseTenants(f)
+}
+
+// Resolve returns the effective tenant name and limits for a requested
+// tenant: the named tenant when configured, else the default entry, else
+// zero limits (unlimited). The returned name is what the response echoes,
+// so clients can see which budget actually applied.
+func (t Tenants) Resolve(name string) (string, guard.Limits) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	if tl, ok := t[name]; ok {
+		return name, tl.Limits()
+	}
+	if tl, ok := t[DefaultTenant]; ok {
+		return DefaultTenant, tl.Limits()
+	}
+	return DefaultTenant, guard.Limits{}
+}
+
+// Names returns the configured tenant names, sorted, for logs and docs.
+func (t Tenants) Names() []string {
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadTenantsExample pins the shipped example config
+// (testdata/tenants.json, referenced from docs/SERVER.md).
+func TestLoadTenantsExample(t *testing.T) {
+	ten, err := LoadTenants("../../testdata/tenants.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, lim := ten.Resolve("free")
+	if name != "free" || lim.Timeout != 250*time.Millisecond || lim.MaxRows != 10000 || lim.MaxSteps != 500 {
+		t.Fatalf("free resolved to %q %+v", name, lim)
+	}
+	if name, lim = ten.Resolve("unknown"); name != DefaultTenant || lim.Timeout != 2*time.Second {
+		t.Fatalf("unknown resolved to %q %+v", name, lim)
+	}
+	if got := ten.Names(); len(got) != 4 || got[0] != "batch" {
+		t.Fatalf("Names() = %v", got)
+	}
+}

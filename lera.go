@@ -94,7 +94,61 @@ var (
 	ErrTermSize = guard.ErrTermSize
 	// ErrRowBudget marks the Limits.MaxRows materialization cap.
 	ErrRowBudget = guard.ErrRowBudget
+	// ErrOverloaded marks a typed admission-control shed (server layer).
+	ErrOverloaded = guard.ErrOverloaded
+	// ErrDraining marks a request refused by a draining server.
+	ErrDraining = guard.ErrDraining
+	// ErrInjected marks a deterministic chaos fault (Injector).
+	ErrInjected = guard.ErrInjected
 )
+
+// Code is the stable protocol error-code vocabulary shared by the server
+// protocols, edsql and benchrunner (docs/SERVER.md). Classify any
+// pipeline error with CodeOf.
+type Code = guard.Code
+
+// Protocol error codes.
+const (
+	CodeOK            = guard.CodeOK
+	CodeParse         = guard.CodeParse
+	CodeDeadline      = guard.CodeDeadline
+	CodeStepBudget    = guard.CodeStepBudget
+	CodeTermSize      = guard.CodeTermSize
+	CodeRowBudget     = guard.CodeRowBudget
+	CodeCanceled      = guard.CodeCanceled
+	CodeExternalError = guard.CodeExternalError
+	CodeExternalPanic = guard.CodeExternalPanic
+	CodeInjected      = guard.CodeInjected
+	CodeOverloaded    = guard.CodeOverloaded
+	CodeDraining      = guard.CodeDraining
+	CodeInternal      = guard.CodeInternal
+)
+
+// CodeOf classifies an error from any pipeline layer into its protocol
+// code (CodeInternal when unrecognized; nil maps to CodeOK).
+func CodeOf(err error) Code { return guard.CodeOf(err) }
+
+// Injector is the deterministic fault injector for chaos testing: faults
+// fire on per-name call counts only, never on time or scheduling (see
+// internal/guard/faultinject.go for the determinism contract). Thread one
+// through a session with WithInjector.
+type Injector = guard.Injector
+
+// Fault is one armed fault: mode (error, panic or context-aware stall)
+// plus its firing schedule (OnCall = the N'th call, Every = every N'th,
+// neither = every call).
+type Fault = guard.Fault
+
+// Fault modes.
+const (
+	FaultError = guard.FaultError
+	FaultPanic = guard.FaultPanic
+	FaultStall = guard.FaultStall
+)
+
+// NewInjector returns an empty injector: all hits are counted no-ops
+// until faults are armed.
+func NewInjector() *Injector { return guard.NewInjector() }
 
 // NewSession creates a session with an empty catalog and database.
 func NewSession(opts ...Option) *Session { return core.NewSession(opts...) }
@@ -139,6 +193,10 @@ var (
 	// advisory findings are kept on Rewriter.CheckDiagnostics. See
 	// docs/RULES.md ("Validating your rules").
 	WithRuleCheck = core.WithRuleCheck
+	// WithInjector threads a fault injector through the whole pipeline —
+	// rewrite-side constraints, methods and builtins, and execution-side
+	// ADT calls — for deterministic chaos testing (docs/SERVER.md).
+	WithInjector = core.WithInjector
 )
 
 // Diagnostic is one finding of the rule-base verifier (internal/rulecheck):
