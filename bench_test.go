@@ -399,3 +399,54 @@ func translateBench(s *Session, src string) (*Term, error) {
 	}
 	return res.Initial, nil
 }
+
+// E16 — plan cache: the full query path cold (every query rewritten)
+// versus warm (every query a template hit that re-binds its constants).
+// The warm loop asserts the hit, so a templatization regression that
+// silently stops sharing shows up as a benchmark failure, not just a
+// slower number.
+func BenchmarkE16PlanCache(b *testing.B) {
+	workloads := []struct {
+		name  string
+		build func(b *testing.B, opts ...Option) *Session
+		q     func(i int) string
+	}{
+		{"closure-point",
+			func(b *testing.B, opts ...Option) *Session { return graphBench(b, 60, opts...) },
+			func(i int) string { return fmt.Sprintf("SELECT Src FROM TC WHERE Dst = %d", i%30+2) }},
+		{"member-range",
+			func(b *testing.B, opts ...Option) *Session { return filmsBench(b, 500, opts...) },
+			func(i int) string {
+				return fmt.Sprintf("SELECT Title FROM FILM WHERE MEMBER('Adventure', Categories) AND Numf > %d", 450+i%50)
+			}},
+	}
+	for _, w := range workloads {
+		b.Run(w.name+"/cold", func(b *testing.B) {
+			s := w.build(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(w.q(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/warm", func(b *testing.B) {
+			s := w.build(b, WithPlanCache(64))
+			if _, err := s.Query(w.q(0)); err != nil { // prime the template
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Query(w.q(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cache == nil || !res.Cache.Hit {
+					b.Fatalf("iteration %d: expected a plan-cache hit", i)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,13 @@
 // stay comparable across machines). E14 varies the pool size itself to
 // measure the speedup.
 //
+// -plancache N arms every shared-builder session with a plan cache of
+// capacity N (docs/PLANCACHE.md). The work-counter tables must not move
+// — a cache hit replays the identical plan — so rerunning any experiment
+// with the flag doubles as a differential check. E16 measures the cache
+// itself (cold rewrite vs warm hit) and sizes its own caches, N when
+// given, 64 otherwise.
+//
 // With -json the tables are emitted as one JSON document that also
 // records provenance — the git commit the binary was built from and a
 // fingerprint of the parsed built-in rule base — so archived runs can be
@@ -99,6 +106,21 @@ var obsv = lera.NewObserver()
 // default run serial so archived counter tables stay comparable.
 var poolSize = 1
 
+// planCacheSize is the -plancache flag: when >0 the shared workload
+// builders arm every session with a plan cache of this capacity, and
+// E16 adopts it as the warm cache size. 0 (the default) leaves every
+// session uncached, which keeps archived tables comparable.
+var planCacheSize = 0
+
+// cacheOpts appends the -plancache option, when set, to a builder's
+// session options.
+func cacheOpts(opts []lera.Option) []lera.Option {
+	if planCacheSize > 0 {
+		opts = append(opts, lera.WithPlanCache(planCacheSize))
+	}
+	return opts
+}
+
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default all)")
 	asJSON := flag.Bool("json", false, "emit results as JSON with commit and rule-base provenance")
@@ -106,9 +128,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	parFlag := flag.Int("parallelism", 1, "engine worker-pool size for every measured query (0 = all cores, 1 = serial)")
+	cacheFlag := flag.Int("plancache", 0, "arm every workload session with a plan cache of this capacity (0 = uncached; E16 sizes its own)")
 	flag.Parse()
 	rec.jsonMode = *asJSON
 	poolSize = *parFlag
+	planCacheSize = *cacheFlag
 	scrapeURL := ""
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -184,6 +208,7 @@ func main() {
 	run(10, e10Planning)
 	run(11, e11Guardrails)
 	run(14, e14Parallel)
+	run(16, e16PlanCache)
 	if rec.jsonMode {
 		emitJSON()
 	}
@@ -254,7 +279,7 @@ func ruleFingerprint() string {
 // filmsLike builds FILM(Numf, Title, Categories) with n rows and the
 // Category enumeration (for E5).
 func filmsLike(n int, opts ...lera.Option) *lera.Session {
-	s := lera.NewSession(opts...)
+	s := lera.NewSession(cacheOpts(opts)...)
 	s.MustExec(`
 TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western');
 TYPE SetCategory SET OF Category;
@@ -275,10 +300,26 @@ TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
 	return s
 }
 
+// viewStack builds filmsLike(2000) plus k chained views V1..Vk, each a
+// Numf filter over the previous — the E1 shape, which the merge block
+// collapses to a single search (rewrite-heavy, execution-light).
+func viewStack(k int, opts ...lera.Option) *lera.Session {
+	s := filmsLike(2000, opts...)
+	prev := "FILM"
+	for i := 1; i <= k; i++ {
+		name := fmt.Sprintf("V%d", i)
+		s.MustExec(fmt.Sprintf(
+			"CREATE VIEW %s (Numf, Title, Categories) AS SELECT Numf, Title, Categories FROM %s WHERE Numf > %d;",
+			name, prev, i))
+		prev = name
+	}
+	return s
+}
+
 // edgeGraph builds EDGE(Src, Dst) with the given edges and declares the
 // recursive TC view.
 func edgeGraph(edges [][2]int, opts ...lera.Option) *lera.Session {
-	s := lera.NewSession(opts...)
+	s := lera.NewSession(cacheOpts(opts)...)
 	s.MustExec(`
 TABLE EDGE (Src : INT, Dst : INT);
 CREATE VIEW TC (Src, Dst) AS (
@@ -417,28 +458,16 @@ func e1SearchMerging() {
 		"\"Merging rules reduce the size of a LERA program ... unnecessary temporary relations are removed.\"",
 		"k views | ops before | ops after | searches before | searches after | emitted raw | emitted rewritten")
 	for k := 1; k <= 8; k++ {
-		build := func(opts ...lera.Option) *lera.Session {
-			s := filmsLike(2000, opts...)
-			prev := "FILM"
-			for i := 1; i <= k; i++ {
-				name := fmt.Sprintf("V%d", i)
-				s.MustExec(fmt.Sprintf(
-					"CREATE VIEW %s (Numf, Title, Categories) AS SELECT Numf, Title, Categories FROM %s WHERE Numf > %d;",
-					name, prev, i))
-				prev = name
-			}
-			return s
-		}
 		q := fmt.Sprintf("SELECT Title FROM V%d WHERE Numf < 1000", k)
 
-		on := build()
+		on := viewStack(k)
 		res, cOn, _ := measure(on, q)
 		opsBefore := operatorCount(res.Initial)
 		searchesBefore := searchCount(res.Initial)
 		opsAfter := operatorCount(res.Rewritten)
 		searchesAfter := searchCount(res.Rewritten)
 
-		off := build()
+		off := viewStack(k)
 		off.Rewrite = false
 		_, cOff, _ := measure(off, q)
 		row("%d | %d | %d | %d | %d | %d | %d",
@@ -775,6 +804,74 @@ func e14Parallel() {
 			row("%s | %d | %d | %d | %d | %s | %s",
 				w.name, p, len(res.Rows), c.JoinPairs, c.Emitted, round(d), speedup)
 		}
+	}
+}
+
+// --- E16: plan cache — rewrite reuse for repeated query shapes ---
+
+func e16PlanCache() {
+	header("E16 — plan cache: rewrite reuse for repeated query shapes (docs/PLANCACHE.md)",
+		"Beyond the paper: a fingerprint-keyed plan cache reuses the rewrite of a templatized query shape, so a repeated shape pays the rule engine once — warm hits run zero match attempts and re-bind constants into the cached plan. Answers stay bit-identical (TestPlanCacheDifferentialGolden).",
+		"query shape | queries | cold rewrite µs/op | warm hit µs/op | rewrite speedup | match attempts cold | match attempts warm | hits | misses")
+	size := planCacheSize
+	if size == 0 {
+		size = 64
+	}
+	// The cold sessions must really be cold even under -plancache.
+	saved := planCacheSize
+	planCacheSize = 0
+	defer func() { planCacheSize = saved }()
+
+	const iters = 50
+	shapes := []struct {
+		name  string
+		build func(opts ...lera.Option) *lera.Session
+		q     func(i int) string
+	}{
+		{"view stack (6 deep), range scan",
+			func(opts ...lera.Option) *lera.Session { return viewStack(6, opts...) },
+			func(i int) string { return fmt.Sprintf("SELECT Title FROM V6 WHERE Numf < %d", 100+i) }},
+		{"ADT filter (MEMBER + range)",
+			func(opts ...lera.Option) *lera.Session { return filmsLike(2000, opts...) },
+			func(i int) string {
+				return fmt.Sprintf("SELECT Title FROM FILM WHERE MEMBER('Adventure', Categories) AND Numf > %d", 1900+i)
+			}},
+		{"recursive closure, point query",
+			func(opts ...lera.Option) *lera.Session { return edgeGraph(chain(60), opts...) },
+			func(i int) string { return fmt.Sprintf("SELECT Src FROM TC WHERE Dst = %d", i%30+2) }},
+	}
+	for _, sh := range shapes {
+		cold := sh.build()
+		var coldRewrite time.Duration
+		coldMatches := 0
+		for i := 0; i < iters; i++ {
+			res, _, _ := measure(cold, sh.q(i))
+			coldRewrite += res.Report.Phases.Rewrite
+			coldMatches += res.RewriteStats().MatchAttempts
+		}
+
+		warm := sh.build(lera.WithPlanCache(size))
+		var warmRewrite time.Duration
+		warmMatches, warmHits := 0, 0
+		for i := 0; i < iters; i++ {
+			res, _, _ := measure(warm, sh.q(i))
+			if res.Cache != nil && res.Cache.Hit {
+				warmRewrite += res.Report.Phases.Rewrite
+				warmMatches += res.RewriteStats().MatchAttempts
+				warmHits++
+			}
+		}
+		snap := warm.Plans.Snapshot()
+
+		coldUs := float64(coldRewrite.Microseconds()) / iters
+		warmUs := float64(warmRewrite.Microseconds()) / float64(maxInt(warmHits, 1))
+		speedup := "-"
+		if warmUs > 0 {
+			speedup = fmt.Sprintf("%.0fx", coldUs/warmUs)
+		}
+		row("%s | %d | %.1f | %.2f | %s | %d | %d | %d | %d",
+			sh.name, iters, coldUs, warmUs, speedup,
+			coldMatches/iters, warmMatches/maxInt(warmHits, 1), snap.Hits, snap.Misses)
 	}
 }
 

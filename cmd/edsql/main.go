@@ -10,6 +10,7 @@
 //	\films           load the paper's Figure 2-5 example database
 //	\tables          list relations and views
 //	\check           verify the rule base (lint + differential testing)
+//	\cache [clear]   plan-cache statistics / empty the cache (docs/PLANCACHE.md)
 //	\set parallelism N  size the intra-query worker pool (0 = all cores, 1 = serial)
 //	\help            this text
 //
@@ -20,6 +21,8 @@
 //	--max-rows N     cap on rows materialized during execution
 //	--parallelism N  intra-query worker pool size (0 = all cores, 1 = serial;
 //	                 results are bit-identical at every setting, see docs/PERF.md)
+//	--plan-cache N   arm a plan cache of N entries (docs/PLANCACHE.md);
+//	                 each query then prints its cache outcome (hit/miss)
 //
 // When a budget interrupts the rewriter, the shell still answers the
 // query from the fallback plan and prints a one-line degradation notice.
@@ -44,9 +47,18 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "cap on committed rule applications per query (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "cap on rows materialized during execution (0 = none)")
 	parallelism := flag.Int("parallelism", 0, "intra-query worker pool size (0 = all cores, 1 = serial)")
+	planCache := flag.Int("plan-cache", 0, "plan-cache entries (0 = off; see docs/PLANCACHE.md)")
+	planCacheVal := flag.Int("plan-cache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
 	flag.Parse()
 
-	s := lera.NewSession()
+	var opts []lera.Option
+	if *planCache > 0 {
+		opts = append(opts, lera.WithPlanCache(*planCache))
+		if *planCacheVal > 0 {
+			opts = append(opts, lera.WithPlanCacheValidation(*planCacheVal))
+		}
+	}
+	s := lera.NewSession(opts...)
 	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
 	s.Parallelism = *parallelism
 	s.Obs = lera.NewObserver()
@@ -85,6 +97,26 @@ func main() {
 	}
 }
 
+// lastCache remembers the cache outcome of the most recently executed
+// query so \metrics can report it alongside the Prometheus counters.
+var lastCache *lera.PlanCacheOutcome
+
+// cacheLine renders a one-line cache outcome for a query.
+func cacheLine(oc *lera.PlanCacheOutcome) string {
+	state := "miss"
+	if oc.Hit {
+		state = "hit"
+	}
+	line := fmt.Sprintf("cache %s (template 0x%016x, %d params", state, oc.TemplateHash, oc.NParams)
+	if oc.Rejected {
+		line += ", exact-key fallback"
+	}
+	if oc.Validated {
+		line += ", validated"
+	}
+	return line + ")"
+}
+
 func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
@@ -109,6 +141,9 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		if err := s.Obs.Metrics.WritePrometheus(os.Stdout); err != nil {
 			fmt.Println("error:", err)
 		}
+		if lastCache != nil {
+			fmt.Printf("# last query: %s\n", cacheLine(lastCache))
+		}
 	case "\\counters":
 		c := s.DB.Count
 		fmt.Printf("scanned=%d joinPairs=%d emitted=%d predEvals=%d fixIterations=%d\n",
@@ -125,6 +160,19 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		fmt.Println("views:    ", strings.Join(s.Cat.ViewNames(), ", "))
 	case "\\check":
 		check(s)
+	case "\\cache":
+		if s.Plans == nil {
+			fmt.Println("plan cache: off (start with --plan-cache N)")
+			break
+		}
+		if len(fields) > 1 && fields[1] == "clear" {
+			fmt.Printf("plan cache: %d entries dropped\n", s.Plans.Clear())
+			break
+		}
+		st := s.Plans.Snapshot()
+		fmt.Printf("plan cache: %d/%d entries\n", st.Entries, st.Capacity)
+		fmt.Printf("  hits=%d misses=%d evictions=%d invalidations=%d\n", st.Hits, st.Misses, st.Evictions, st.Invalidations)
+		fmt.Printf("  rejected_templates=%d validation_failures=%d\n", st.Rejections, st.ValidationFailures)
 	case "\\set":
 		if len(fields) == 3 && fields[1] == "parallelism" {
 			n := 0
@@ -139,7 +187,7 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		}
 		fmt.Println("parallelism:", s.Parallelism, "(0 = all cores, 1 = serial)")
 	case "\\help":
-		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check \\set parallelism N")
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check \\cache [clear] \\set parallelism N")
 	default:
 		fmt.Println("unknown meta-command (try \\help)")
 	}
@@ -186,6 +234,12 @@ func run(s *lera.Session, showPlan bool, src string) {
 			fmt.Println("translated:", lera.Format(r.Initial))
 			if s.Rewrite {
 				fmt.Println("rewritten: ", lera.Format(r.Rewritten))
+			}
+		}
+		if r.Cache != nil {
+			lastCache = r.Cache
+			if r.Kind == lera.ResultRows {
+				fmt.Println(cacheLine(r.Cache))
 			}
 		}
 		if st := r.RewriteStats(); st.Degraded {

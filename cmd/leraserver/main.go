@@ -37,25 +37,32 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait before cancelling in-flight work")
 		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "post-cancel wait for cancellations to land")
 		parallelism  = flag.Int("parallelism", 1, "intra-query parallelism per session (0 = GOMAXPROCS)")
+		planCache    = flag.Int("plancache", 0, "plan-cache entries shared by the session pool (0 = off)")
+		planCacheVal = flag.Int("plancache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
 	)
 	flag.Parse()
 	if err := run(*addr, *films, *initFile, *rulesFile, *tenantsFile, *chaosSpec,
-		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism); err != nil {
+		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism, *planCache, *planCacheVal); err != nil {
 		fmt.Fprintln(os.Stderr, "leraserver:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec string,
-	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism int) error {
+	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism, planCache, planCacheVal int) error {
 	cfg := server.Config{
-		LoadFilms:    films,
-		MaxInFlight:  maxInFlight,
-		MaxQueue:     maxQueue,
-		DrainTimeout: drainTimeout,
-		DrainGrace:   drainGrace,
-		Parallelism:  parallelism,
-		ErrorLog:     os.Stderr,
+		LoadFilms:           films,
+		MaxInFlight:         maxInFlight,
+		MaxQueue:            maxQueue,
+		DrainTimeout:        drainTimeout,
+		DrainGrace:          drainGrace,
+		Parallelism:         parallelism,
+		PlanCache:           planCache,
+		PlanCacheValidation: planCacheVal,
+		ErrorLog:            os.Stderr,
+	}
+	if planCache > 0 {
+		fmt.Fprintf(os.Stderr, "leraserver: plan cache armed (%d entries)\n", planCache)
 	}
 	if initFile != "" {
 		src, err := os.ReadFile(initFile)

@@ -7,6 +7,12 @@
 //
 //	loadgen -url http://127.0.0.1:7457 -n 500 -c 16 -json BENCH_server.json
 //
+// Against a server started with -plancache, `-assert-cache` additionally
+// balances the plan-cache ledger (hits + misses must equal the queries
+// that reached the rewrite phase) and `-min-hit-rate 0.9` gates on the
+// hit rate — the CI check for repeated-shape workloads
+// (docs/PLANCACHE.md).
+//
 // Retries use bounded exponential backoff with deterministic jitter
 // (-seed), so a run that shed N requests sheds exactly N on the rerun.
 package main
@@ -62,9 +68,15 @@ type report struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latencyMs"`
-	Unreported int  `json:"unreported"`
-	ScrapeOK   bool `json:"metricsScrapeOk"`
+	Unreported int   `json:"unreported"`
+	ScrapeOK   bool  `json:"metricsScrapeOk"`
 	ServerSeen int64 `json:"serverRequestsTotal"`
+
+	// Plan-cache audit (populated from the scrape; meaningful when the
+	// server was started with -plancache).
+	CacheHits    int64   `json:"planCacheHits"`
+	CacheMisses  int64   `json:"planCacheMisses"`
+	CacheHitRate float64 `json:"planCacheHitRate"`
 }
 
 func main() {
@@ -79,15 +91,20 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "jitter PRNG seed (deterministic backoff)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request overall timeout")
 		jsonOut   = flag.String("json", "", "write the run report as JSON to this file")
+		assertC   = flag.Bool("assert-cache", false, "fail unless the plan-cache ledger balances (hits+misses = queries)")
+		minHit    = flag.Float64("min-hit-rate", 0, "fail if the plan-cache hit rate is below this fraction (implies -assert-cache)")
 	)
 	flag.Parse()
-	if err := run(*url, *n, *c, *tenant, *queryList, *withBad, *retries, *seed, *timeout, *jsonOut); err != nil {
+	if err := run(*url, *n, *c, *tenant, *queryList, *withBad, *retries, *seed, *timeout, *jsonOut, *assertC, *minHit); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, n, c int, tenant, queryList string, withBad bool, retries int, seed uint64, timeout time.Duration, jsonOut string) error {
+func run(url string, n, c int, tenant, queryList string, withBad bool, retries int, seed uint64, timeout time.Duration, jsonOut string, assertCache bool, minHitRate float64) error {
+	if minHitRate > 0 {
+		assertCache = true
+	}
 	queries := defaultQueries
 	if queryList != "" {
 		data, err := os.ReadFile(queryList)
@@ -173,7 +190,7 @@ func run(url string, n, c int, tenant, queryList string, withBad bool, retries i
 
 	// Server-side audit: /metrics must scrape cleanly, and the server's
 	// own ledger must balance — every request it counted was answered.
-	scrapeErr := audit(url, &rep)
+	scrapeErr := audit(url, &rep, assertCache, minHitRate)
 
 	fmt.Printf("loadgen: %d requests, %d workers, %.1fs (%.0f req/s)\n", n, c, elapsed.Seconds(), rep.Throughput)
 	codes := make([]string, 0, len(rep.ByCode))
@@ -187,6 +204,10 @@ func run(url string, n, c int, tenant, queryList string, withBad bool, retries i
 	fmt.Printf("  degraded %d, retried %d, unreported %d\n", rep.Degraded, rep.Retried, rep.Unreported)
 	fmt.Printf("  latency ms: p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
 		rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99, rep.LatencyMs.Max)
+	if rep.CacheHits+rep.CacheMisses > 0 {
+		fmt.Printf("  plan cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate)
+	}
 
 	if jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -208,8 +229,12 @@ func run(url string, n, c int, tenant, queryList string, withBad bool, retries i
 }
 
 // audit scrapes /metrics, checks the exposition parses, and balances the
-// server's request ledger.
-func audit(url string, rep *report) error {
+// server's request ledger. With assertCache it also balances the plan
+// cache's ledger — every query that reached the rewrite phase is exactly
+// one hit or one miss — and enforces the minimum hit rate (the CI gate
+// for repeated-shape workloads; needs a workload with no translate
+// failures, which never reach the cache).
+func audit(url string, rep *report, assertCache bool, minHitRate float64) error {
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics scrape: %w", err)
@@ -243,6 +268,25 @@ func audit(url string, rep *report) error {
 	}
 	if got := rep.ByCode[string(guard.CodeOK)]; rep.ServerSeen > 0 && got == 0 && rep.Requests > 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: warning: no OK responses at all")
+	}
+
+	rep.CacheHits = vals["lera_plancache_hits_total"]
+	rep.CacheMisses = vals["lera_plancache_misses_total"]
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
+	}
+	if assertCache {
+		queries := vals["lera_queries_total"]
+		if rep.CacheHits+rep.CacheMisses == 0 {
+			return fmt.Errorf("plan-cache audit: no hits or misses recorded (is the server running with -plancache?)")
+		}
+		if rep.CacheHits+rep.CacheMisses != queries {
+			return fmt.Errorf("plan-cache ledger unbalanced: %d hits + %d misses != %d queries",
+				rep.CacheHits, rep.CacheMisses, queries)
+		}
+		if rep.CacheHitRate < minHitRate {
+			return fmt.Errorf("plan-cache hit rate %.3f below required %.3f", rep.CacheHitRate, minHitRate)
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"lera/internal/adt"
 	"lera/internal/rules"
@@ -64,7 +65,27 @@ type Catalog struct {
 	// constraints are the integrity-constraint rules declared by the
 	// database administrator, in declaration order.
 	constraints []*rules.Rule
+
+	// schemaVersion counts schema mutations (relations, views,
+	// constraints); dataVersion counts statistics mutations (EstRows).
+	// Both feed plan-cache invalidation keys (docs/PLANCACHE.md).
+	schemaVersion atomic.Uint64
+	dataVersion   atomic.Uint64
 }
+
+// SchemaVersion returns a counter that changes whenever a relation,
+// view or integrity constraint is declared. Cached rewrites embed it so
+// any schema change invalidates them.
+func (c *Catalog) SchemaVersion() uint64 { return c.schemaVersion.Load() }
+
+// DataVersion returns a counter that changes whenever a relation's
+// estimated cardinality changes (engine loads/inserts). Only rewrites
+// that consulted cardinalities (planning hints) key on it.
+func (c *Catalog) DataVersion() uint64 { return c.dataVersion.Load() }
+
+// BumpDataVersion records a statistics change; the engine calls it when
+// it updates Relation.EstRows.
+func (c *Catalog) BumpDataVersion() { c.dataVersion.Add(1) }
 
 // New creates an empty catalog with fresh type and ADT registries.
 func New() *Catalog {
@@ -87,6 +108,7 @@ func (c *Catalog) DeclareRelation(name string, cols []Column) (*Relation, error)
 	}
 	r := &Relation{Name: name, Columns: append([]Column(nil), cols...)}
 	c.rels[key] = r
+	c.schemaVersion.Add(1)
 	return r, nil
 }
 
@@ -100,6 +122,7 @@ func (c *Catalog) DeclareView(v *View) error {
 		return fmt.Errorf("catalog: %q already declared as a relation", v.Name)
 	}
 	c.views[key] = v
+	c.schemaVersion.Add(1)
 	return nil
 }
 
@@ -140,6 +163,7 @@ func (c *Catalog) ViewNames() []string {
 // constraints is the rules language for defining optimization rules").
 func (c *Catalog) AddConstraint(r *rules.Rule) {
 	c.constraints = append(c.constraints, r)
+	c.schemaVersion.Add(1)
 }
 
 // Constraints returns the declared integrity-constraint rules.

@@ -16,6 +16,7 @@ import (
 	"lera/internal/esql"
 	"lera/internal/lera"
 	"lera/internal/obs"
+	"lera/internal/rewrite"
 	"lera/internal/translate"
 )
 
@@ -51,7 +52,15 @@ func (s *Session) ExplainCtx(ctx context.Context, ex *esql.Explain) (*Result, er
 	if s.Rewrite {
 		rSpan := rec.Begin("rewrite")
 		t0 = time.Now()
-		res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
+		// Plain EXPLAIN is read-only against the plan cache: it reports
+		// whether the query would hit (and shows the cached plan when it
+		// would) without counting, reordering or storing anything.
+		if cached, oc := s.peekPlanCache(q); oc != nil && oc.Hit {
+			res.Rewritten, res.Stats, res.Cache = cached, &rewrite.Stats{CacheHit: true}, oc
+		} else {
+			res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
+			res.Cache = oc
+		}
 		rec.End(rSpan)
 		rep.Phases.Rewrite = time.Since(t0)
 		st := res.RewriteStats()
@@ -86,6 +95,20 @@ func renderExplain(res *Result, analyze bool) string {
 		st.Applications, st.ConditionChecks, st.MatchAttempts, st.Rounds)
 	if st.Degraded {
 		fmt.Fprintf(&sb, "rewrite degraded: %s\n", st.DegradationReason)
+	}
+	if oc := res.Cache; oc != nil {
+		state := "cold"
+		if oc.Hit {
+			state = "cached"
+		}
+		fmt.Fprintf(&sb, "plan: %s (template 0x%016x, %d params", state, oc.TemplateHash, oc.NParams)
+		if oc.Rejected {
+			sb.WriteString(", exact-key fallback")
+		}
+		if oc.Validated {
+			sb.WriteString(", validated")
+		}
+		sb.WriteString(")\n")
 	}
 	rep := res.Report
 	if rep != nil && rep.Exec != nil {

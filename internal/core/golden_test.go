@@ -104,9 +104,9 @@ var goldenCases = []struct {
 	},
 }
 
-func goldenSession(t *testing.T) *Session {
+func goldenSession(t *testing.T, opts ...Option) *Session {
 	t.Helper()
-	s := NewSession()
+	s := NewSession(opts...)
 	s.MustExec(esql.Figure2DDL)
 	s.MustExec(esql.Figure4View)
 	s.MustExec(esql.Figure5View)

@@ -58,6 +58,12 @@ const (
 	mRowsReturned  = "lera_rows_returned_total"
 	mCatRelations  = "lera_catalog_relations"
 	mCatViews      = "lera_catalog_views"
+	mPlanHits      = "lera_plancache_hits_total"
+	mPlanMisses    = "lera_plancache_misses_total"
+	mPlanEvictions = "lera_plancache_evictions_total"
+	mPlanInvalid   = "lera_plancache_invalidations_total"
+	mPlanValFail   = "lera_plancache_validation_failures_total"
+	hPlanHitSecs   = "lera_plancache_hit_seconds"
 	hParseSeconds  = "lera_parse_seconds"
 	hTransSeconds  = "lera_translate_seconds"
 	hRewSeconds    = "lera_rewrite_seconds"
@@ -116,6 +122,29 @@ func (s *Session) obsQueryDone(res *Result, execErr error) {
 	m.Histogram(hRewriteChecks, "Condition checks per query.", obs.DefaultCountBuckets).Observe(float64(st.ConditionChecks))
 	if st.Degraded {
 		m.Counter(mDegraded, "Queries answered from the guard fallback plan.").Inc()
+	}
+	if oc := res.Cache; oc != nil {
+		// The ledger invariant (docs/PLANCACHE.md): every SELECT that
+		// reaches the rewrite phase of a cache-armed session counts
+		// exactly one hit or miss, so hits+misses equals
+		// lera_queries_total minus translate failures.
+		if oc.Hit {
+			m.Counter(mPlanHits, "Queries whose plan was served from the plan cache.").Inc()
+			if res.Report != nil {
+				m.Histogram(hPlanHitSecs, "Rewrite-phase wall time on plan-cache hits.", obs.DefaultDurationBuckets).Observe(res.Report.Phases.Rewrite.Seconds())
+			}
+		} else {
+			m.Counter(mPlanMisses, "Queries that required a cold rewrite.").Inc()
+		}
+		if oc.Evicted > 0 {
+			m.Counter(mPlanEvictions, "Plan-cache entries evicted by capacity.").Add(int64(oc.Evicted))
+		}
+		if oc.Invalidated {
+			m.Counter(mPlanInvalid, "Plan-cache entries dropped as stale (rule-base, knob or catalog change) or failing validation.").Inc()
+		}
+		if oc.ValidationFailed {
+			m.Counter(mPlanValFail, "Sampled hit validations that disagreed with a cold rewrite.").Inc()
+		}
 	}
 	m.Counter(mRowsReturned, "Rows returned to clients.").Add(int64(len(res.Rows)))
 	m.Histogram(hQueryRows, "Rows returned per query.", obs.DefaultCountBuckets).Observe(float64(len(res.Rows)))

@@ -1,0 +1,285 @@
+package core
+
+// Session plan cache (docs/PLANCACHE.md): the layer between translate
+// and rewrite that makes repeated query shapes nearly free. The flow
+// for one SELECT, when WithPlanCache is armed:
+//
+//  1. Templatize the translated term (internal/plancache): lift value
+//     constants into a binding vector, leaving a structural template.
+//  2. Look the template up under the session's cache environment — the
+//     rule-base fingerprint, the rewrite-relevant knobs, the guard
+//     budget shape and the catalog schema version. A hit substitutes
+//     the bindings into the cached plan and skips the rewriter
+//     entirely; an entry whose environment changed is dropped and
+//     counted as an invalidation.
+//  3. On a miss the concrete term is rewritten exactly as an uncached
+//     session would (so this query's result, stats and trace are
+//     untouched by caching), then the template itself is rewritten once
+//     — outside the query's observability scope — and the candidate is
+//     accepted only if substituting the bindings into the template's
+//     plan reproduces the concrete plan bit-for-bit. Shapes that fail
+//     (a rewrite rule consumed a lifted constant: constant folding,
+//     range contradictions, constraint-driven member() elimination)
+//     are remembered and fall back to exact-term caching.
+//
+// Degraded rewrites are never cached. Cached plans are immutable terms
+// shared read-only across a fork pool; constants never live in a
+// template, so a shared cache cannot leak data between sessions.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lera/internal/obs"
+	"lera/internal/plancache"
+	"lera/internal/rewrite"
+	"lera/internal/term"
+)
+
+// WithPlanCache arms a plan cache of n entries on the session. Forks
+// share the parent's cache (see Session.Fork); rule-base or catalog
+// differences between sharers are kept apart by the cache environment
+// key, never by luck.
+func WithPlanCache(n int) Option { return func(c *config) { c.planCache = n } }
+
+// WithPlanCacheValidation re-validates every n'th hit of each cached
+// template against a cold rewrite of the concrete query: if a
+// value-dependent rule would have produced a different plan for this
+// binding, the entry is invalidated, the cold plan is used, and the
+// disagreement is counted (lera_plancache_* / \cache). n = 1 validates
+// every hit — full determinism insurance at full rewrite cost; 0 (the
+// default) trusts the store-time round-trip check.
+func WithPlanCacheValidation(n int) Option { return func(c *config) { c.planCacheVal = n } }
+
+// planCacheOf builds the cache described by an option list (nil when
+// the option is absent) plus the validation cadence.
+func planCacheOf(opts []Option) (*plancache.Cache, int) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.planCache <= 0 {
+		return nil, 0
+	}
+	return plancache.New(cfg.planCache), cfg.planCacheVal
+}
+
+// Fingerprint returns the rule-base fingerprint (rules.RuleSet
+// Fingerprint), memoized per rewriter build — any rule change rebuilds
+// the rewriter and therefore re-derives it.
+func (r *Rewriter) Fingerprint() string {
+	if r.fingerprint == "" {
+		r.fingerprint = r.RS.Fingerprint()
+	}
+	return r.fingerprint
+}
+
+// knobs returns the signature of every construction-time option that
+// can change rewrite output without changing the rule-base fingerprint:
+// block budgets and disabled blocks, the master sequence, the dynamic
+// limit policy and the check budget. (WithFullScan is excluded on
+// purpose — the indexed and full-scan engines produce identical
+// rewrites, which is exactly what docs/PERF.md pins.)
+func (r *Rewriter) knobs() string {
+	if r.knobSig != "" {
+		return r.knobSig
+	}
+	parts := []string{fmt.Sprintf("conslim=%d", r.cfg.constraintLim)}
+	if r.cfg.dynamicLimits {
+		parts = append(parts, "dyn")
+	}
+	if r.cfg.maxChecks != 0 {
+		parts = append(parts, fmt.Sprintf("checks=%d", r.cfg.maxChecks))
+	}
+	if r.cfg.sequence != "" {
+		parts = append(parts, "seq="+r.cfg.sequence)
+	}
+	var keys []string
+	for k := range r.cfg.blockLimits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("bl:%s=%d", k, r.cfg.blockLimits[k]))
+	}
+	keys = keys[:0]
+	for k := range r.cfg.disableBlocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, "off:"+k)
+	}
+	r.knobSig = strings.Join(parts, "|")
+	return r.knobSig
+}
+
+// usesPlanning reports whether the rule base carries the §7 planning
+// block, whose JOINORDER external reads estimated cardinalities — the
+// one case where rewrite output depends on stored data, so the cache
+// environment must also key on the catalog data version.
+func (r *Rewriter) usesPlanning() bool {
+	_, ok := r.RS.Blocks["planning"]
+	return ok
+}
+
+// cacheEnv is the environment string guarding every cache entry: if any
+// input the rewriter consults changes, the string changes and stale
+// entries die on their next lookup (observable as invalidations).
+func (s *Session) cacheEnv(rw *Rewriter) string {
+	var sb strings.Builder
+	sb.WriteString(rw.Fingerprint())
+	sb.WriteByte('|')
+	sb.WriteString(rw.knobs())
+	fmt.Fprintf(&sb, "|steps=%d|size=%d|schema=%d", s.Limits.MaxSteps, s.Limits.MaxTermSize, s.Cat.SchemaVersion())
+	if rw.usesPlanning() {
+		fmt.Fprintf(&sb, "|data=%d", s.Cat.DataVersion())
+	}
+	return sb.String()
+}
+
+// rewritePlan is the rewrite phase of execSelect: rewriteGuarded when
+// no cache is armed, else the cache-aware path described at the top of
+// this file. The returned Outcome is nil exactly when the cache did not
+// participate (no cache, or no usable rewriter).
+func (s *Session) rewritePlan(ctx context.Context, q *term.Term) (*term.Term, *rewrite.Stats, *plancache.Outcome) {
+	if s.Plans == nil {
+		plan, st := s.rewriteGuarded(ctx, q)
+		return plan, st, nil
+	}
+	rw, err := s.Rewriter()
+	if err != nil {
+		// rewriteGuarded reports the broken rule base as a degradation.
+		plan, st := s.rewriteGuarded(ctx, q)
+		return plan, st, nil
+	}
+	env := s.cacheEnv(rw)
+	tmpl, params := plancache.Templatize(q)
+
+	// Shapes whose template failed validation use exact-term entries:
+	// the key becomes the concrete term and substitution is a no-op.
+	key := tmpl
+	rejected := false
+	if len(params) > 0 && s.Plans.Rejected(tmpl.Hash()) {
+		key, rejected = q, true
+	}
+	out := &plancache.Outcome{TemplateHash: key.Hash(), NParams: len(params), Rejected: rejected}
+
+	plan, nparams, ordinal, status := s.Plans.Lookup(key, env)
+	switch status {
+	case plancache.Hit:
+		bound, serr := plancache.Substitute(plan, params)
+		if serr == nil {
+			if s.validateEvery > 0 && nparams > 0 && ordinal%uint64(s.validateEvery) == 0 {
+				return s.validateHit(ctx, q, key, bound, out)
+			}
+			out.Hit = true
+			return bound, &rewrite.Stats{CacheHit: true}, out
+		}
+		// A plan referencing bindings we do not have is a corrupt entry;
+		// drop it and treat the query as a miss.
+		s.Plans.FailValidation(key)
+		out.Invalidated = true
+	case plancache.Stale:
+		out.Invalidated = true
+	}
+
+	// Miss: the concrete term takes today's exact rewrite path, so this
+	// query's plan, stats and spans are identical to an uncached run.
+	plan, stats := s.rewriteGuarded(ctx, q)
+	if stats.Degraded {
+		return plan, stats, out // degraded plans are never cached
+	}
+	if len(params) == 0 || rejected {
+		out.Stored = true
+		out.Evicted = s.Plans.Store(key, plan, 0, env)
+		return plan, stats, out
+	}
+
+	// First sighting of a parameterized shape: rewrite the template once
+	// (outside the query's observability scope) and accept it only if
+	// substituting this query's bindings reproduces the concrete plan.
+	if tplan, ok := s.rewriteTemplate(ctx, rw, tmpl); ok {
+		if check, serr := plancache.Substitute(tplan, params); serr == nil && term.Equal(check, plan) {
+			out.Stored = true
+			out.Evicted = s.Plans.Store(tmpl, tplan, len(params), env)
+			return plan, stats, out
+		}
+	}
+	s.Plans.Reject(tmpl.Hash())
+	out.Rejected = true
+	out.Stored = true
+	out.Evicted += s.Plans.Store(q, plan, 0, env)
+	return plan, stats, out
+}
+
+// validateHit re-derives the plan for a sampled cache hit and compares
+// it with the substituted cached plan. Agreement serves the hit (with
+// the honest cost of the check in the stats); disagreement invalidates
+// the entry and serves the cold plan, so a WithPlanCacheValidation(1)
+// session is bit-identical to an uncached one on every query.
+func (s *Session) validateHit(ctx context.Context, q, key, bound *term.Term, out *plancache.Outcome) (*term.Term, *rewrite.Stats, *plancache.Outcome) {
+	cold, coldStats := s.rewriteGuarded(obs.NewContext(ctx, nil), q)
+	out.Validated = true
+	if coldStats.Degraded || !term.Equal(cold, bound) {
+		s.Plans.FailValidation(key)
+		out.ValidationFailed = true
+		out.Invalidated = true
+		return cold, coldStats, out
+	}
+	coldStats.CacheHit = true
+	out.Hit = true
+	return bound, coldStats, out
+}
+
+// rewriteTemplate rewrites a templatized term under the session limits
+// but outside the query's observability scope: no spans, no trace, no
+// metric attribution — the template derivation is cache bookkeeping,
+// not query work. Failure (error or degradation) just means the shape
+// is not template-cacheable right now.
+func (s *Session) rewriteTemplate(ctx context.Context, rw *Rewriter, tmpl *term.Term) (*term.Term, bool) {
+	rwCtx := obs.NewContext(ctx, nil)
+	cancel := func() {}
+	if s.Limits.Timeout > 0 {
+		rwCtx, cancel = context.WithTimeout(rwCtx, s.Limits.Timeout)
+	}
+	defer cancel()
+	tplan, st, err := rw.RewriteCtx(rwCtx, tmpl, s.Limits)
+	if err != nil || st == nil || st.Degraded {
+		return nil, false
+	}
+	return tplan, true
+}
+
+// peekPlanCache is the read-only probe used by plain EXPLAIN: report
+// whether the query would hit, and the plan it would get, without
+// touching hit/miss counters, LRU order or stored entries.
+func (s *Session) peekPlanCache(q *term.Term) (*term.Term, *plancache.Outcome) {
+	if s.Plans == nil {
+		return nil, nil
+	}
+	rw, err := s.Rewriter()
+	if err != nil {
+		return nil, nil
+	}
+	env := s.cacheEnv(rw)
+	tmpl, params := plancache.Templatize(q)
+	key := tmpl
+	rejected := false
+	if len(params) > 0 && s.Plans.Rejected(tmpl.Hash()) {
+		key, rejected = q, true
+	}
+	out := &plancache.Outcome{TemplateHash: key.Hash(), NParams: len(params), Rejected: rejected}
+	plan, _, ok := s.Plans.Peek(key, env)
+	if !ok {
+		return nil, out
+	}
+	bound, serr := plancache.Substitute(plan, params)
+	if serr != nil {
+		return nil, out
+	}
+	out.Hit = true
+	return bound, out
+}

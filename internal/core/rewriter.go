@@ -54,6 +54,8 @@ type config struct {
 	ruleCheck     bool
 	fullScan      bool
 	injector      *guard.Injector
+	planCache     int
+	planCacheVal  int
 }
 
 // WithTrace records a rule-application trace for Explain.
@@ -140,6 +142,12 @@ type Rewriter struct {
 
 	// checkDiags are the non-fatal findings of the WithRuleCheck lint.
 	checkDiags []rulecheck.Diagnostic
+
+	// fingerprint / knobSig memoize the plan-cache environment pieces
+	// derived from the (immutable after construction) rule set and
+	// config; see cacheEnv in plancache.go.
+	fingerprint string
+	knobSig     string
 }
 
 // New builds a rewriter over a catalog.

@@ -12,6 +12,7 @@ import (
 	"lera/internal/guard"
 	"lera/internal/lera"
 	"lera/internal/obs"
+	"lera/internal/plancache"
 	"lera/internal/rewrite"
 	"lera/internal/rulecheck"
 	"lera/internal/term"
@@ -50,6 +51,31 @@ type Session struct {
 	// Obs.Trace is on — every query carries a span/event trace and
 	// per-operator execution statistics on Result.Report.
 	Obs *obs.Observer
+
+	// Plans is the session's plan cache (nil unless WithPlanCache was
+	// given; see internal/plancache and docs/PLANCACHE.md). Forks share
+	// the parent's cache pointer — entries are keyed by template hash
+	// AND cache environment (rule-base fingerprint, knobs, schema
+	// version), so sessions with different rule bases can share one
+	// cache without ever serving each other's plans.
+	Plans *plancache.Cache
+
+	// validateEvery is the sampled hit-validation cadence
+	// (WithPlanCacheValidation); 0 disables re-validation.
+	validateEvery int
+
+	// prepared is the PREPARE/EXECUTE registry: statement ASTs with
+	// their validated parameter counts, keyed by uppercased name. Fork
+	// copies the map (a snapshot: later PREPAREs on either side are
+	// private), which is what a session pool wants.
+	prepared map[string]*preparedStmt
+}
+
+// preparedStmt is one PREPARE'd SELECT: the parsed body with its $n
+// placeholders intact, plus the validated parameter count.
+type preparedStmt struct {
+	sel     *esql.Select
+	nparams int
 }
 
 // NewSession creates a session with an empty catalog and database.
@@ -66,6 +92,7 @@ func NewSession(opts ...Option) *Session {
 	// from its config, the engine from DB.Injector, so one injector
 	// covers constraints, methods, builtins and ADT calls alike.
 	s.DB.Injector = injectorOf(opts)
+	s.Plans, s.validateEvery = planCacheOf(opts)
 	return s
 }
 
@@ -89,16 +116,36 @@ func injectorOf(opts []Option) *guard.Injector {
 // and with the parent PROVIDED the shared state stays immutable: no
 // DDL, INSERT or SetObject on any of them after forking. leraserver
 // enforces this by admitting only SELECT statements.
+//
+// Plan-cache semantics (docs/PLANCACHE.md): the fork shares the
+// parent's Plans pointer, so it sees — and contributes to — the same
+// cache, including entries stored before the fork. This is safe because
+// every entry is guarded by its cache environment: the rule-base
+// fingerprint, rewrite knobs and catalog schema version are part of the
+// key, so a fork whose effective rule base differs (e.g. a DDL-induced
+// rebuild) can never be served a plan derived under the parent's rules
+// — it observes an invalidation and re-derives. Cached templates and
+// plans are immutable structural terms holding no row data or bindings.
+// The prepared-statement registry, by contrast, is copied: a snapshot
+// at fork time, with later PREPAREs private to each side.
 func (s *Session) Fork() (*Session, error) {
 	ns := &Session{
-		Cat:         s.Cat,
-		DB:          s.DB.Fork(),
-		opts:        s.opts,
-		stale:       true,
-		Rewrite:     s.Rewrite,
-		Limits:      s.Limits,
-		Parallelism: s.Parallelism,
-		Obs:         s.Obs,
+		Cat:           s.Cat,
+		DB:            s.DB.Fork(),
+		opts:          s.opts,
+		stale:         true,
+		Rewrite:       s.Rewrite,
+		Limits:        s.Limits,
+		Parallelism:   s.Parallelism,
+		Obs:           s.Obs,
+		Plans:         s.Plans,
+		validateEvery: s.validateEvery,
+	}
+	if len(s.prepared) > 0 {
+		ns.prepared = make(map[string]*preparedStmt, len(s.prepared))
+		for k, v := range s.prepared {
+			ns.prepared[k] = v
+		}
 	}
 	if _, err := ns.Rewriter(); err != nil {
 		return nil, err
@@ -156,6 +203,11 @@ type Result struct {
 	// trace, per-operator execution statistics). Non-nil whenever the
 	// session has an observer, and always for EXPLAIN ANALYZE.
 	Report *QueryReport
+
+	// Cache records what the plan cache did for this query — hit, miss,
+	// store, invalidation, eviction count, template hash. Nil when the
+	// session has no plan cache (or the statement was not a SELECT).
+	Cache *plancache.Outcome
 }
 
 // RewriteStats returns the rewrite statistics by value, with the zero
@@ -281,8 +333,72 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st esql.Stmt) (*Result, error
 		return s.ExecSelectCtx(ctx, d)
 	case *esql.Explain:
 		return s.ExplainCtx(ctx, d)
+	case *esql.PrepareStmt:
+		return s.execPrepare(d)
+	case *esql.ExecuteStmt:
+		return s.execExecute(ctx, d)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", st)
+}
+
+// execPrepare registers a PREPARE'd statement: the body's $n
+// placeholders are validated (contiguous $1..$n) here; translation and
+// type checking happen at EXECUTE time, once literals are bound.
+func (s *Session) execPrepare(d *esql.PrepareStmt) (*Result, error) {
+	n, err := esql.CountParams(d.Sel)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToUpper(d.Name)
+	if _, dup := s.prepared[key]; dup {
+		return nil, fmt.Errorf("core: prepared statement %q already exists", d.Name)
+	}
+	if s.prepared == nil {
+		s.prepared = map[string]*preparedStmt{}
+	}
+	s.prepared[key] = &preparedStmt{sel: d.Sel, nparams: n}
+	noun := "parameters"
+	if n == 1 {
+		noun = "parameter"
+	}
+	return &Result{Kind: ResultDDL, Message: fmt.Sprintf("prepared %s (%d %s)", d.Name, n, noun)}, nil
+}
+
+// execExecute binds EXECUTE arguments (evaluated as constant
+// expressions) into a deep copy of the prepared body and runs it down
+// the ordinary SELECT path — so plan caching, metrics, EXPLAIN and
+// bit-identity guarantees all come from the one shared mechanism.
+func (s *Session) execExecute(ctx context.Context, d *esql.ExecuteStmt) (*Result, error) {
+	p := s.prepared[strings.ToUpper(d.Name)]
+	if p == nil {
+		return nil, fmt.Errorf("core: no prepared statement %q (PREPARE it first)", d.Name)
+	}
+	if len(d.Args) != p.nparams {
+		return nil, fmt.Errorf("core: %s expects %d argument(s), got %d", d.Name, p.nparams, len(d.Args))
+	}
+	args := make([]esql.Expr, len(d.Args))
+	for i, a := range d.Args {
+		v, err := translate.Literal(s.Cat, a)
+		if err != nil {
+			return nil, fmt.Errorf("core: EXECUTE %s argument %d: %w", d.Name, i+1, err)
+		}
+		args[i] = &esql.Lit{Val: v}
+	}
+	bound, err := esql.BindParams(p.sel, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecSelectCtx(ctx, bound)
+}
+
+// Prepared reports the registered prepared-statement names with their
+// parameter counts (for shells).
+func (s *Session) Prepared() map[string]int {
+	out := make(map[string]int, len(s.prepared))
+	for k, v := range s.prepared {
+		out[k] = v.nparams
+	}
+	return out
 }
 
 // ExecSelect translates, rewrites and executes one SELECT with no
@@ -336,7 +452,7 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	if s.Rewrite {
 		rSpan := rec.Begin("rewrite")
 		t0 = time.Now()
-		res.Rewritten, res.Stats = s.rewriteGuarded(ctx, q)
+		res.Rewritten, res.Stats, res.Cache = s.rewritePlan(ctx, q)
 		rec.End(rSpan)
 		if rep != nil {
 			rep.Phases.Rewrite = time.Since(t0)
@@ -347,6 +463,9 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 				obs.Int("checks", st.ConditionChecks),
 				obs.Int("applications", st.Applications),
 				obs.Int("rounds", st.Rounds))
+			if oc := res.Cache; oc != nil && oc.Hit {
+				rSpan.SetAttrs(obs.Str("plan", "cached"))
+			}
 		}
 	}
 	schema, err := lera.Infer(res.Rewritten, s.Cat, nil)

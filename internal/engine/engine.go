@@ -229,6 +229,7 @@ func (db *DB) Load(name string, rows [][]value.Value) error {
 	if rel, ok := db.Cat.Relation(name); ok {
 		stored.Width = len(rel.Columns)
 		rel.EstRows = len(rows)
+		db.Cat.BumpDataVersion()
 	}
 	db.rels[strings.ToUpper(name)] = stored
 	return nil
@@ -251,6 +252,7 @@ func (db *DB) Insert(name string, row []value.Value) error {
 	r.Rows = append(r.Rows, row)
 	if rel, ok := db.Cat.Relation(name); ok {
 		rel.EstRows = len(r.Rows)
+		db.Cat.BumpDataVersion()
 	}
 	return nil
 }

@@ -140,6 +140,25 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
+// PrepareStmt is PREPARE name AS SELECT ... with $1-style parameters:
+// the statement is parsed and registered once; EXECUTE binds literals
+// into the placeholders and runs it (docs/PLANCACHE.md).
+type PrepareStmt struct {
+	Name string
+	Sel  *Select
+}
+
+func (*PrepareStmt) stmt() {}
+
+// ExecuteStmt is EXECUTE name(arg, ...): run a prepared statement with
+// literal arguments bound to its $n placeholders in order.
+type ExecuteStmt struct {
+	Name string
+	Args []Expr
+}
+
+func (*ExecuteStmt) stmt() {}
+
 // --- expressions ---
 
 // Expr is a parsed ESQL expression.
@@ -149,6 +168,14 @@ type Expr interface{ expr() }
 type Lit struct{ Val value.Value }
 
 func (*Lit) expr() {}
+
+// Param is a $n placeholder (1-based) inside a PREPARE body. It is a
+// parse-time construct only: EXECUTE replaces every Param with the
+// bound literal (BindParams) before translation, and the translator
+// rejects any Param that reaches it unbound.
+type Param struct{ Index int }
+
+func (*Param) expr() {}
 
 // Ref is a column reference: bare name or qualified R.attr.
 type Ref struct {

@@ -15,6 +15,7 @@ const (
 	tString
 	tPunct // ( ) , ; . :
 	tOp    // = <> < > <= >= + - * /
+	tParam // $1, $2, ... (text holds the digits)
 )
 
 type token struct {
@@ -148,6 +149,18 @@ func (l *lexer) next() (token, error) {
 			sb.WriteRune(c)
 		}
 		return token{kind: tString, text: sb.String(), line: line, col: col}, nil
+
+	case r == '$':
+		if !unicode.IsDigit(l.peekAt(1)) {
+			return token{}, fmt.Errorf("esql: %d:%d: expected parameter number after '$'", line, col)
+		}
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.peek())
+			l.advance()
+		}
+		return token{kind: tParam, text: sb.String(), line: line, col: col}, nil
 	}
 	two := string(r) + string(l.peekAt(1))
 	switch two {

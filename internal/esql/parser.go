@@ -112,8 +112,49 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseInsert()
 	case t.is("EXPLAIN"):
 		return p.parseExplain()
+	case t.is("PREPARE"):
+		return p.parsePrepare()
+	case t.is("EXECUTE"):
+		return p.parseExecute()
 	}
-	return nil, fmt.Errorf("esql: %d:%d: unexpected %q (expected TYPE, TABLE, CREATE, SELECT, INSERT or EXPLAIN)", t.line, t.col, t.text)
+	return nil, fmt.Errorf("esql: %d:%d: unexpected %q (expected TYPE, TABLE, CREATE, SELECT, INSERT, EXPLAIN, PREPARE or EXECUTE)", t.line, t.col, t.text)
+}
+
+// parsePrepare parses PREPARE name AS SELECT ... ($n placeholders are
+// allowed anywhere a literal is).
+func (p *parser) parsePrepare() (Stmt, error) {
+	p.advance() // PREPARE
+	name, err := p.ident("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if !t.is("SELECT") {
+		return nil, fmt.Errorf("esql: %d:%d: PREPARE expects a SELECT body, got %q", t.line, t.col, t.text)
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &PrepareStmt{Name: name, Sel: sel.(*Select)}, nil
+}
+
+// parseExecute parses EXECUTE name(arg, ...); the parentheses are
+// required even for zero arguments.
+func (p *parser) parseExecute() (Stmt, error) {
+	p.advance() // EXECUTE
+	name, err := p.ident("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgList()
+	if err != nil {
+		return nil, err
+	}
+	return &ExecuteStmt{Name: name, Args: args}, nil
 }
 
 // parseExplain parses EXPLAIN [ANALYZE] SELECT ....
@@ -623,6 +664,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tString:
 		p.advance()
 		return &Lit{Val: value.String(t.text)}, nil
+
+	case tParam:
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("esql: %d:%d: bad parameter $%s (parameters are $1, $2, ...)", t.line, t.col, t.text)
+		}
+		return &Param{Index: n}, nil
 
 	case tIdent:
 		switch strings.ToUpper(t.text) {

@@ -1,0 +1,145 @@
+// Query templatization: lift constants out of a translated LERA term
+// into a 1-based binding vector, so one cached rewrite of the template
+// serves every query that differs only in those constants.
+//
+// Lifting is deliberately conservative (a whitelist): only Int, Real and
+// String constants that sit in a value position — one operand of a
+// two-place comparison whose other operand is not a constant, or an
+// argument of an ADT CALL — are replaced by PARAM placeholders.
+// Structural constants (relation names under REL, attribute indices
+// under ATTR, fixpoint/nest names, CALL function names at argument 0)
+// are never positions the whitelist reaches, so templates stay purely
+// structural: no user data survives in a cached template or plan.
+//
+// A PARAM placeholder carries its binding's value kind
+// (PARAM(i, 'INT')), so two queries whose constants differ in type
+// produce different templates — the typecheck rules are type-dependent
+// and must not share a cached rewrite across kinds.
+//
+// Determinism: Templatize numbers parameters in one bottom-up
+// left-to-right pass over the canonical term. Because SET/BAG arguments
+// are already sorted by term.Compare before lifting, and PARAM indices
+// ascend in exactly that traversal order, re-canonicalization of the
+// template (and of the substituted result) reproduces the original
+// argument order bit-for-bit. Substitute(Templatize(q)) == q is pinned
+// by a fuzz test.
+package plancache
+
+import (
+	"fmt"
+
+	lalg "lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// ParamFunctor is the placeholder functor: PARAM(index, kind-name).
+const ParamFunctor = "PARAM"
+
+// cmpOps are the two-place comparison functors whose constant operands
+// are lifted. Arithmetic ('+', '*') is excluded on purpose: constant
+// subexpressions there exist to be folded by the simplification rules.
+var cmpOps = map[string]bool{
+	"=": true, "<>": true, "<": true, ">": true, "<=": true, ">=": true,
+}
+
+// liftable reports whether a constant of this kind may become a
+// parameter. Booleans and NULL are structural (TRUE/FALSE are rewrite
+// targets); collections, tuples and OIDs never templatize.
+func liftable(v value.Value) bool {
+	switch v.K {
+	case value.KInt, value.KReal, value.KString:
+		return true
+	}
+	return false
+}
+
+// Param builds the placeholder term for 1-based parameter i of kind k.
+func Param(i int, k value.Kind) *term.Term {
+	return term.F(ParamFunctor, term.Num(int64(i)), term.Str(k.String()))
+}
+
+// ParamIndex recognizes a placeholder and returns its 1-based index.
+func ParamIndex(t *term.Term) (int, bool) {
+	if t.Kind != term.Fun || t.VarHead || t.Functor != ParamFunctor || len(t.Args) != 2 {
+		return 0, false
+	}
+	ix := t.Args[0]
+	if ix.Kind != term.Const || ix.Val.K != value.KInt {
+		return 0, false
+	}
+	return int(ix.Val.I), true
+}
+
+// Templatize returns a copy of q with whitelisted constants replaced by
+// PARAM placeholders, plus the binding vector in placeholder order. If
+// nothing is liftable the original term is returned unchanged with a
+// nil vector. q itself is never mutated (terms are immutable).
+func Templatize(q *term.Term) (*term.Term, []value.Value) {
+	var params []value.Value
+	lift := func(c *term.Term) *term.Term {
+		params = append(params, c.Val)
+		return Param(len(params), c.Val.K)
+	}
+	tmpl := term.Rewrite(q, func(t *term.Term) *term.Term {
+		if t.Kind != term.Fun || t.VarHead {
+			return t
+		}
+		switch {
+		case len(t.Args) == 2 && cmpOps[t.Functor]:
+			a, b := t.Args[0], t.Args[1]
+			// Lift a constant operand only when the other side is not a
+			// constant: const-vs-const comparisons (e.g. the folded
+			// "2+3=5", or contradiction detection over "n>2 AND n<=2")
+			// are consumed by the simplification rules at rewrite time.
+			switch {
+			case a.Kind == term.Const && liftable(a.Val) && b.Kind != term.Const:
+				return term.F(t.Functor, lift(a), b)
+			case b.Kind == term.Const && liftable(b.Val) && a.Kind != term.Const:
+				return term.F(t.Functor, a, lift(b))
+			}
+		case t.Functor == lalg.ECall && len(t.Args) > 1:
+			// CALL('Name', arg1, ...): argument 0 is the function name —
+			// structural, never lifted. Value arguments are.
+			var args []*term.Term
+			for i, a := range t.Args {
+				if i > 0 && a.Kind == term.Const && liftable(a.Val) {
+					if args == nil {
+						args = append(args[:0:0], t.Args...)
+					}
+					args[i] = lift(a)
+				}
+			}
+			if args != nil {
+				return term.F(t.Functor, args...)
+			}
+		}
+		return t
+	})
+	return tmpl, params
+}
+
+// Substitute replaces every PARAM placeholder in plan with the
+// corresponding constant from params (1-based). Placeholders may have
+// been duplicated or dropped by the rewrite; every surviving occurrence
+// is bound. An out-of-range index is an error (a corrupt cache entry).
+func Substitute(plan *term.Term, params []value.Value) (*term.Term, error) {
+	var err error
+	out := term.Rewrite(plan, func(t *term.Term) *term.Term {
+		i, ok := ParamIndex(t)
+		if !ok {
+			return t
+		}
+		if i < 1 || i > len(params) {
+			if err == nil {
+				err = fmt.Errorf("plancache: plan references $%d but only %d bindings are present", i, len(params))
+			}
+			return t
+		}
+		return term.C(params[i-1])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+
+	lalg "lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// mustRoundTrip pins the core templatizer contract:
+// Substitute(Templatize(q)) is bit-identical to q.
+func mustRoundTrip(t *testing.T, q *term.Term) (*term.Term, []value.Value) {
+	t.Helper()
+	tmpl, params := Templatize(q)
+	back, err := Substitute(tmpl, params)
+	if err != nil {
+		t.Fatalf("Substitute: %v", err)
+	}
+	if !term.Equal(back, q) {
+		t.Fatalf("round trip broke:\n  q    = %s\n  tmpl = %s\n  back = %s", q, tmpl, back)
+	}
+	return tmpl, params
+}
+
+func TestTemplatizeTable(t *testing.T) {
+	attr11 := lalg.Attr(1, 1)
+	attr12 := lalg.Attr(1, 2)
+	attr21 := lalg.Attr(2, 1)
+
+	cases := []struct {
+		name    string
+		q       *term.Term
+		nparams int
+	}{
+		{"int filter", term.F("=", attr11, term.Num(5)), 1},
+		{"const on left", term.F("<", term.Num(5), attr11), 1},
+		{"string filter", term.F("=", attr12, term.Str("Allen")), 1},
+		{"real range", term.F(">=", attr11, term.Flt(2.5)), 1},
+		{"not-equal", term.F("<>", attr12, term.Str("Cartoon")), 1},
+		{"join key stays", term.F("=", attr11, attr21), 0},
+		{"const-const comparison stays", term.F("=", term.F("+", term.Num(2), term.Num(3)), term.Num(5)), 1},
+		{"bool const stays", term.F("=", attr11, term.TrueT()), 0},
+		{"null const stays", term.F("=", attr11, term.C(value.Null)), 0},
+		{"arithmetic operand stays", term.F("+", attr11, term.Num(7)), 0},
+		{"call args lift", term.F(lalg.ECall, term.Str("member"), term.Str("Cartoon"), term.Num(5)), 2},
+		{"call name never lifts", term.F(lalg.ECall, term.Str("substr"), term.Str("abc")), 1},
+		{"call attr arg stays", term.F(lalg.ECall, term.Str("count"), attr12), 0},
+		{"bare call stays", term.F(lalg.ECall, term.Str("now")), 0},
+		{"rel name never lifts", lalg.Rel("FILM"), 0},
+		{"nested conjunction", term.F(lalg.EAnds, term.Set(
+			term.F("=", attr11, term.Num(3)),
+			term.F("<", attr12, term.Str("m")),
+			term.F("=", attr11, attr21),
+		)), 2},
+		{"search-shaped", lalg.Search(
+			[]*term.Term{lalg.Rel("FILM")},
+			term.F(lalg.EAnds, term.Set(
+				term.F(">", attr11, term.Num(1990)),
+				term.F("=", attr12, term.Str("Drama")),
+			)),
+			[]*term.Term{attr11, attr12},
+		), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tmpl, params := mustRoundTrip(t, tc.q)
+			if len(params) != tc.nparams {
+				t.Fatalf("lifted %d params, want %d (template %s)", len(params), tc.nparams, tmpl)
+			}
+			if tc.nparams == 0 && tmpl != tc.q {
+				t.Errorf("no-op templatization should return q unchanged")
+			}
+		})
+	}
+}
+
+// Two queries that differ only in constant values share one template;
+// differing constant kinds do not (typecheck rules are type-dependent).
+func TestTemplateSharing(t *testing.T) {
+	attr := lalg.Attr(1, 1)
+	shape := func(v *term.Term) *term.Term {
+		return lalg.Search([]*term.Term{lalg.Rel("FILM")}, term.F("=", attr, v), []*term.Term{attr})
+	}
+	t1, p1 := Templatize(shape(term.Num(7)))
+	t2, p2 := Templatize(shape(term.Num(99)))
+	if !term.Equal(t1, t2) {
+		t.Fatalf("same shape, different constants must share a template:\n  %s\n  %s", t1, t2)
+	}
+	if p1[0].I != 7 || p2[0].I != 99 {
+		t.Fatalf("binding vectors should carry the lifted constants: %v %v", p1, p2)
+	}
+	t3, _ := Templatize(shape(term.Str("7")))
+	if term.Equal(t1, t3) {
+		t.Fatalf("kind-distinct constants must not share a template: %s", t3)
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	p := Param(3, value.KString)
+	if i, ok := ParamIndex(p); !ok || i != 3 {
+		t.Fatalf("ParamIndex(Param(3)) = %d, %v", i, ok)
+	}
+	for _, not := range []*term.Term{
+		term.Num(3),
+		term.F("PARAMX", term.Num(1), term.Str("INT")),
+		term.F(ParamFunctor, term.Str("1"), term.Str("INT")),
+		term.FV("F", term.Num(1), term.Str("INT")),
+	} {
+		if _, ok := ParamIndex(not); ok {
+			t.Errorf("ParamIndex(%s) should not match", not)
+		}
+	}
+}
+
+func TestSubstituteOutOfRange(t *testing.T) {
+	plan := term.F("=", lalg.Attr(1, 1), Param(2, value.KInt))
+	if _, err := Substitute(plan, []value.Value{value.Int(1)}); err == nil {
+		t.Fatal("want error for PARAM(2) with one binding")
+	}
+	// Zero-param substitution is a no-op returning the plan unchanged.
+	q := term.F("=", lalg.Attr(1, 1), lalg.Attr(2, 1))
+	out, err := Substitute(q, nil)
+	if err != nil || !term.Equal(out, q) {
+		t.Fatalf("no-op substitute: %s, %v", out, err)
+	}
+}
+
+// Seeded fuzz: random query-shaped terms must round-trip bit-identically.
+func TestTemplatizeFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randConst := func() *term.Term {
+		switch rng.Intn(5) {
+		case 0:
+			return term.Num(int64(rng.Intn(100)))
+		case 1:
+			return term.Flt(float64(rng.Intn(100)) / 4)
+		case 2:
+			return term.Str(string(rune('a' + rng.Intn(26))))
+		case 3:
+			return term.TrueT()
+		default:
+			return term.C(value.Null)
+		}
+	}
+	ops := []string{"=", "<>", "<", ">", "<=", ">=", "+"}
+	var randExpr func(depth int) *term.Term
+	randExpr = func(depth int) *term.Term {
+		if depth <= 0 || rng.Intn(4) == 0 {
+			if rng.Intn(2) == 0 {
+				return randConst()
+			}
+			return lalg.Attr(1+rng.Intn(3), 1+rng.Intn(4))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			op := ops[rng.Intn(len(ops))]
+			return term.F(op, randExpr(depth-1), randExpr(depth-1))
+		case 1:
+			n := 2 + rng.Intn(3)
+			args := make([]*term.Term, n)
+			for i := range args {
+				args[i] = randExpr(depth - 1)
+			}
+			return term.F(lalg.EAnds, term.Set(args...))
+		case 2:
+			return term.F(lalg.ECall, term.Str("f"), randExpr(depth-1), randExpr(depth-1))
+		default:
+			return lalg.Filter(lalg.Rel("FILM"), randExpr(depth-1))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		q := randExpr(4)
+		mustRoundTrip(t, q)
+	}
+}
+
+// Lifted templates must be purely structural: no Int/Real/String constant
+// from a lifted position survives in the template itself.
+func TestTemplateHoldsNoLiftedValues(t *testing.T) {
+	attr := lalg.Attr(1, 2)
+	q := lalg.Search(
+		[]*term.Term{lalg.Rel("PERSON")},
+		term.F(lalg.EAnds, term.Set(
+			term.F("=", attr, term.Str("secret-tenant-value")),
+			term.F(">", lalg.Attr(1, 3), term.Num(424242)),
+		)),
+		[]*term.Term{attr},
+	)
+	tmpl, params := mustRoundTrip(t, q)
+	if len(params) != 2 {
+		t.Fatalf("want 2 params, got %d", len(params))
+	}
+	var walk func(t *term.Term) bool
+	walk = func(n *term.Term) bool {
+		if n.Kind == term.Const && (n.Val.K == value.KString && n.Val.S == "secret-tenant-value" ||
+			n.Val.K == value.KInt && n.Val.I == 424242) {
+			return true
+		}
+		for _, a := range n.Args {
+			if walk(a) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(tmpl) {
+		t.Fatalf("lifted constant leaked into template: %s", tmpl)
+	}
+}

@@ -257,9 +257,9 @@ type Stats struct {
 	// indexed and the full-scan engine), this is the work counter the rule
 	// index actually shrinks: sites whose head functor or arity cannot
 	// match a rule's LHS are never attempted.
-	MatchAttempts int
-	Applications  int // successful rewrites
-	Rounds        int // sequence iterations executed
+	MatchAttempts   int
+	Applications    int // successful rewrites
+	Rounds          int // sequence iterations executed
 	BudgetExhausted bool
 
 	// Degraded records graceful degradation: the rewrite failed, panicked
@@ -274,6 +274,11 @@ type Stats struct {
 	// "STEP_BUDGET" in a leraserver response and in an edsql notice name
 	// the same event. Empty when not degraded.
 	DegradationCode string
+
+	// CacheHit marks a plan served by the session plan cache: the engine
+	// never ran, so the work counters above are genuinely zero (the
+	// point of the cache). See internal/plancache and docs/PLANCACHE.md.
+	CacheHit bool
 }
 
 // Options configure a run.

@@ -35,12 +35,12 @@ func TestParseChaos(t *testing.T) {
 		t.Errorf("empty spec: %v %v", f, err)
 	}
 	for _, bad := range []string{
-		"member",                  // no mode
-		"member:explode",          // unknown mode
-		"member:error:on=zero",    // bad int
-		"member:stall",            // stall without duration
-		"member:error:what=3",     // unknown option
-		"member:error:every=-1",   // negative
+		"member",                // no mode
+		"member:explode",        // unknown mode
+		"member:error:on=zero",  // bad int
+		"member:stall",          // stall without duration
+		"member:error:what=3",   // unknown option
+		"member:error:every=-1", // negative
 	} {
 		if _, err := ParseChaos(bad); err == nil {
 			t.Errorf("ParseChaos(%q) accepted", bad)

@@ -1,0 +1,193 @@
+package server
+
+// Plan cache behind the server (docs/PLANCACHE.md): a repeated-shape
+// workload against a cache-armed pool must answer bit-identically to an
+// uncached server, keep the hit/miss ledger exact — every admitted query
+// that survives translation is exactly one hit or one miss — and hold a
+// high hit rate, with or without engine-level chaos in the way.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lera/internal/guard"
+)
+
+// repeatedShapes is the loadgen-style workload: a few query shapes,
+// many constants.
+func repeatedShapes(i int) string {
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf("SELECT Title FROM FILM WHERE Numf = %d", i%5)
+	case 1:
+		return fmt.Sprintf("SELECT Numf FROM FILM WHERE Numf = %d OR Numf = %d", i%4, (i+1)%4)
+	default:
+		return fmt.Sprintf("SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) AND ALL(Salary(Actors) > %d)", 1000*(i%7))
+	}
+}
+
+func TestServerPlanCacheLedger(t *testing.T) {
+	srv, base := startServer(t, Config{
+		MaxInFlight: 4,
+		MaxQueue:    64,
+		PlanCache:   32,
+	})
+
+	// An uncached twin answers the oracle rows for every workload query.
+	oracle, err := New(Config{LoadFilms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	const perWorker = 25
+	type reply struct {
+		query string
+		code  guard.Code
+		rows  [][]string
+	}
+	replies := make([][]reply, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(base)
+			c.Retry.MaxAttempts = 1 // exact request accounting
+			for i := 0; i < perWorker; i++ {
+				q := repeatedShapes(w*perWorker + i)
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				out := c.Query(ctx, q)
+				cancel()
+				r := reply{query: q, code: out.Code}
+				if out.Resp != nil {
+					r.rows = out.Resp.Rows
+				}
+				replies[w] = append(replies[w], r)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every request has a typed outcome, and OK answers match the
+	// uncached oracle row for row.
+	valid := map[guard.Code]bool{guard.CodeOK: true, guard.CodeOverloaded: true}
+	total, ok := 0, 0
+	for w := range replies {
+		for _, r := range replies[w] {
+			total++
+			if !valid[r.code] {
+				t.Fatalf("untyped outcome %q for %s", r.code, r.query)
+			}
+			if r.code != guard.CodeOK {
+				continue
+			}
+			ok++
+			want := oracle.queryDirect(t, r.query)
+			if len(r.rows) != len(want) {
+				t.Fatalf("%s: %d rows, oracle %d", r.query, len(r.rows), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if r.rows[i][j] != want[i][j] {
+						t.Fatalf("%s: row %d col %d = %q, oracle %q", r.query, i, j, r.rows[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("accounted %d outcomes, want %d", total, workers*perWorker)
+	}
+
+	// The ledger: hits + misses == queries that reached the rewrite
+	// phase == lera_queries_total (no translate failures in this
+	// workload), and the repeated shapes make hits dominate.
+	m := srv.Metrics()
+	hits := m.Counter("lera_plancache_hits_total", "").Value()
+	misses := m.Counter("lera_plancache_misses_total", "").Value()
+	queries := m.Counter("lera_queries_total", "").Value()
+	if hits+misses != queries {
+		t.Errorf("ledger broken: hits %d + misses %d != queries %d", hits, misses, queries)
+	}
+	if queries != int64(ok) {
+		t.Errorf("session queries %d != OK replies %d", queries, ok)
+	}
+	if hits == 0 || float64(hits)/float64(hits+misses) < 0.8 {
+		t.Errorf("repeated-shape workload should mostly hit: %d/%d", hits, hits+misses)
+	}
+}
+
+// The ledger holds under engine-level chaos too: a query whose execution
+// errors still counted its hit or miss (the cache phase precedes the
+// engine), and every outcome stays typed.
+func TestServerPlanCacheLedgerUnderChaos(t *testing.T) {
+	chaos, err := ParseChaos("count:error:every=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{
+		MaxInFlight: 2,
+		MaxQueue:    32,
+		PlanCache:   16,
+		Chaos:       chaos,
+	})
+
+	// COUNT(Categories) trips the armed fault on every 4th evaluation.
+	queries := []string{
+		"SELECT Title FROM FILM WHERE COUNT(Categories) > 0",
+		"SELECT Title FROM FILM WHERE Numf = 1",
+		"SELECT Title FROM FILM WHERE Numf = 2",
+	}
+	valid := map[guard.Code]bool{
+		guard.CodeOK: true, guard.CodeInjected: true, guard.CodeOverloaded: true,
+	}
+	c := NewClient(base)
+	c.Retry.MaxAttempts = 1
+	codes := map[guard.Code]int{}
+	const n = 30
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		out := c.Query(ctx, queries[i%len(queries)])
+		cancel()
+		if !valid[out.Code] {
+			t.Fatalf("untyped outcome %q", out.Code)
+		}
+		codes[out.Code]++
+	}
+	if codes[guard.CodeInjected] == 0 {
+		t.Fatal("chaos never fired; the test is not exercising the error path")
+	}
+
+	m := srv.Metrics()
+	hits := m.Counter("lera_plancache_hits_total", "").Value()
+	misses := m.Counter("lera_plancache_misses_total", "").Value()
+	queriesTotal := m.Counter("lera_queries_total", "").Value()
+	if hits+misses != queriesTotal {
+		t.Errorf("chaos broke the ledger: hits %d + misses %d != queries %d", hits, misses, queriesTotal)
+	}
+	if hits == 0 {
+		t.Error("repeated shapes under chaos should still hit")
+	}
+}
+
+// queryDirect runs a query on the server's own base session pool twin —
+// an uncached oracle — returning rows as strings.
+func (s *Server) queryDirect(t *testing.T, q string) [][]string {
+	t.Helper()
+	res, err := s.base.Query(q)
+	if err != nil {
+		t.Fatalf("oracle %s: %v", q, err)
+	}
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = make([]string, len(row))
+		for j, v := range row {
+			out[i][j] = v.String()
+		}
+	}
+	return out
+}

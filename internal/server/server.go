@@ -66,6 +66,14 @@ type Config struct {
 	// Parallelism is each pooled session's intra-query worker pool size
 	// (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// PlanCache, when > 0, arms a plan cache of that many entries,
+	// shared read-mostly by every pooled session (core.WithPlanCache;
+	// docs/PLANCACHE.md). Repeated query shapes then skip the rewriter,
+	// observable as lera_plancache_* metrics.
+	PlanCache int
+	// PlanCacheValidation re-validates every n'th cache hit against a
+	// cold rewrite (core.WithPlanCacheValidation). 0 = off.
+	PlanCacheValidation int
 	// Tenants maps tenant names to guard budgets (see tenant.go). Nil
 	// serves every request under unlimited default limits.
 	Tenants Tenants
@@ -89,11 +97,11 @@ type Config struct {
 // values (value.Value.String), bit-identical to what FormatResult prints
 // for the embedded session.
 type Response struct {
-	Code    string `json:"code"`
-	Error   string `json:"error,omitempty"`
-	Tenant  string `json:"tenant,omitempty"`
-	RowsN   int    `json:"rowCount"`
-	Columns []string `json:"columns,omitempty"`
+	Code    string     `json:"code"`
+	Error   string     `json:"error,omitempty"`
+	Tenant  string     `json:"tenant,omitempty"`
+	RowsN   int        `json:"rowCount"`
+	Columns []string   `json:"columns,omitempty"`
 	Rows    [][]string `json:"rows,omitempty"`
 
 	Degraded       bool   `json:"degraded,omitempty"`
@@ -126,12 +134,12 @@ type Server struct {
 	httpLn  *chanListener
 	httpSrv *http.Server
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	drained  chan struct{}
-	drainErr error
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	draining  bool
+	drained   chan struct{}
+	drainErr  error
 	drainOnce sync.Once
 }
 
@@ -171,6 +179,12 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, core.WithRules(cfg.Rules))
 	}
 	opts = append(opts, core.WithInjector(inj))
+	if cfg.PlanCache > 0 {
+		opts = append(opts, core.WithPlanCache(cfg.PlanCache))
+		if cfg.PlanCacheValidation > 0 {
+			opts = append(opts, core.WithPlanCacheValidation(cfg.PlanCacheValidation))
+		}
+	}
 	base := core.NewSession(opts...)
 	base.Obs = ob
 	base.Parallelism = cfg.Parallelism
@@ -619,8 +633,8 @@ func (s *Server) logf(format string, args ...any) {
 // bufio.Reader by protocol sniffing; reads drain the buffer first.
 type peekedConn struct {
 	net.Conn
-	r *bufio.Reader
-	onClose func()
+	r         *bufio.Reader
+	onClose   func()
 	closeOnce sync.Once
 }
 

@@ -191,6 +191,13 @@ func Insert(cat *catalog.Catalog, ins *esql.InsertStmt) (string, [][]value.Value
 	return ins.Table, rows, nil
 }
 
+// Literal evaluates a constant expression (literals, collection and
+// tuple literals, constant ADT calls and arithmetic) to a value. The
+// EXECUTE path uses it to type-check prepared-statement arguments.
+func Literal(cat *catalog.Catalog, e esql.Expr) (value.Value, error) {
+	return evalLiteral(cat, e)
+}
+
 func evalLiteral(cat *catalog.Catalog, e esql.Expr) (value.Value, error) {
 	switch x := e.(type) {
 	case *esql.Lit:
@@ -471,6 +478,8 @@ func (tr *translator) translateExpr(e esql.Expr) (*term.Term, error) {
 	switch x := e.(type) {
 	case *esql.Lit:
 		return term.C(x.Val), nil
+	case *esql.Param:
+		return nil, fmt.Errorf("translate: unbound parameter $%d — bind it with EXECUTE", x.Index)
 	case *esql.Ref:
 		return tr.resolveRef(x)
 	case *esql.App:

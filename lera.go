@@ -27,6 +27,7 @@ import (
 	"lera/internal/guard"
 	lalg "lera/internal/lera"
 	"lera/internal/obs"
+	"lera/internal/plancache"
 	"lera/internal/rewrite"
 	"lera/internal/rulecheck"
 	"lera/internal/term"
@@ -197,7 +198,24 @@ var (
 	// rewrite-side constraints, methods and builtins, and execution-side
 	// ADT calls — for deterministic chaos testing (docs/SERVER.md).
 	WithInjector = core.WithInjector
+	// WithPlanCache arms a bounded LRU of rewritten plans keyed by
+	// templatized term hash + rule-base fingerprint + session knobs, so
+	// repeated query shapes skip the rewriter (docs/PLANCACHE.md).
+	WithPlanCache = core.WithPlanCache
+	// WithPlanCacheValidation re-validates every n'th cache hit against
+	// a cold rewrite, invalidating entries that disagree.
+	WithPlanCacheValidation = core.WithPlanCacheValidation
 )
+
+// PlanCache is the bounded plan-cache LRU (see internal/plancache and
+// docs/PLANCACHE.md); reach a session's via Session.Plans.
+type PlanCache = plancache.Cache
+
+// PlanCacheOutcome is the per-query cache record on Result.Cache.
+type PlanCacheOutcome = plancache.Outcome
+
+// PlanCacheStats is a point-in-time snapshot of plan-cache counters.
+type PlanCacheStats = plancache.Stats
 
 // Diagnostic is one finding of the rule-base verifier (internal/rulecheck):
 // a static lint result or a differential-testing counterexample. Obtain

@@ -1,0 +1,21 @@
+-- Repeated-shape workload for the plan-cache CI gate (docs/PLANCACHE.md):
+-- three query shapes over the \films example database, each repeated with
+-- different constants. Every line templatizes to one of three templates,
+-- so a loadgen run against `leraserver -films -plancache N` should record
+-- exactly three misses and hit on everything else:
+--
+--   loadgen -queries testdata/plancache_workload.sql -assert-cache -min-hit-rate 0.9
+--
+-- Keep every line a plain SELECT that parses and translates: translate
+-- failures never reach the cache and would unbalance the hit+miss ledger
+-- the -assert-cache audit enforces.
+SELECT Title FROM FILM WHERE Numf = 1
+SELECT Title FROM FILM WHERE Numf = 2
+SELECT Title FROM FILM WHERE Numf = 3
+SELECT Title FROM FILM WHERE Numf = 4
+SELECT Numf FROM FILM WHERE Numf = 1 OR Numf = 3
+SELECT Numf FROM FILM WHERE Numf = 2 OR Numf = 4
+SELECT Numf FROM FILM WHERE Numf = 3 OR Numf = 1
+SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) AND ALL(Salary(Actors) > 1000)
+SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) AND ALL(Salary(Actors) > 5000)
+SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) AND ALL(Salary(Actors) > 20000)
