@@ -388,6 +388,44 @@ func BenchmarkRewriteNoMatch(b *testing.B) {
 	}
 }
 
+// E17 — the batched execution engine against the tuple-at-a-time oracle
+// (WithRowEngine) on execution-heavy shapes: an equi-join over stored
+// relations (warm persistent index) and a recursive closure (hashed
+// fixpoint seen-sets). Results are bit-identical; only the cost moves.
+func BenchmarkE17BatchEngine(b *testing.B) {
+	engines := []struct {
+		name string
+		opts []Option
+	}{
+		{"batch", nil},
+		{"row", []Option{WithRowEngine()}},
+	}
+	workloads := []struct {
+		name  string
+		build func(b *testing.B, opts ...Option) *Session
+		q     string
+	}{
+		{"join", func(b *testing.B, opts ...Option) *Session {
+			s := graphBench(b, 20000, opts...)
+			return s
+		}, "SELECT E1.Src, E2.Dst FROM EDGE E1, EDGE E2 WHERE E1.Dst = E2.Src"},
+		{"closure", func(b *testing.B, opts ...Option) *Session {
+			return graphBench(b, 192, opts...)
+		}, "SELECT Src, Dst FROM TC"},
+	}
+	for _, w := range workloads {
+		for _, eng := range engines {
+			b.Run(w.name+"/"+eng.name, func(b *testing.B) {
+				s := w.build(b, eng.opts...)
+				if _, err := s.Query(w.q); err != nil { // warm view cache + indexes
+					b.Fatal(err)
+				}
+				benchQuery(b, s, w.q)
+			})
+		}
+	}
+}
+
 func translateBench(s *Session, src string) (*Term, error) {
 	q, err := esql.ParseQuery(src)
 	if err != nil {

@@ -23,6 +23,10 @@
 //	                 results are bit-identical at every setting, see docs/PERF.md)
 //	--plan-cache N   arm a plan cache of N entries (docs/PLANCACHE.md);
 //	                 each query then prints its cache outcome (hit/miss)
+//	--engine E       execution engine: batch (default) or the row oracle;
+//	                 results are bit-identical either way (docs/PERF.md)
+//	--batch-size N   rows per batch for the batched engine (0 = default;
+//	                 results never depend on it)
 //
 // When a budget interrupts the rewriter, the shell still answers the
 // query from the fallback plan and prints a one-line degradation notice.
@@ -49,6 +53,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "intra-query worker pool size (0 = all cores, 1 = serial)")
 	planCache := flag.Int("plan-cache", 0, "plan-cache entries (0 = off; see docs/PLANCACHE.md)")
 	planCacheVal := flag.Int("plan-cache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
+	engineName := flag.String("engine", "batch", "execution engine: batch or row (bit-identical results, docs/PERF.md)")
+	batchSize := flag.Int("batch-size", 0, "rows per batch for the batched engine (0 = default; results never depend on it)")
 	flag.Parse()
 
 	var opts []lera.Option
@@ -58,9 +64,22 @@ func main() {
 			opts = append(opts, lera.WithPlanCacheValidation(*planCacheVal))
 		}
 	}
+	switch *engineName {
+	case "batch":
+	case "row":
+		opts = append(opts, lera.WithRowEngine())
+	default:
+		fmt.Fprintf(os.Stderr, "edsql: unknown -engine %q (want batch or row)\n", *engineName)
+		os.Exit(2)
+	}
+	if *batchSize < 0 {
+		fmt.Fprintln(os.Stderr, "edsql: -batch-size must be >= 0")
+		os.Exit(2)
+	}
 	s := lera.NewSession(opts...)
 	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
 	s.Parallelism = *parallelism
+	s.BatchSize = *batchSize
 	s.Obs = lera.NewObserver()
 	showPlan := true
 	in := bufio.NewScanner(os.Stdin)

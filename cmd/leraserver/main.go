@@ -39,17 +39,29 @@ func main() {
 		parallelism  = flag.Int("parallelism", 1, "intra-query parallelism per session (0 = GOMAXPROCS)")
 		planCache    = flag.Int("plancache", 0, "plan-cache entries shared by the session pool (0 = off)")
 		planCacheVal = flag.Int("plancache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
+		engineName   = flag.String("engine", "batch", "execution engine: batch or row (bit-identical responses, docs/PERF.md)")
+		batchSize    = flag.Int("batch-size", 0, "rows per batch for the batched engine (0 = default; responses never depend on it)")
 	)
 	flag.Parse()
+	if *engineName != "batch" && *engineName != "row" {
+		fmt.Fprintf(os.Stderr, "leraserver: unknown -engine %q (want batch or row)\n", *engineName)
+		os.Exit(2)
+	}
+	if *batchSize < 0 {
+		fmt.Fprintln(os.Stderr, "leraserver: -batch-size must be >= 0")
+		os.Exit(2)
+	}
 	if err := run(*addr, *films, *initFile, *rulesFile, *tenantsFile, *chaosSpec,
-		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism, *planCache, *planCacheVal); err != nil {
+		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism, *planCache, *planCacheVal,
+		*engineName == "row", *batchSize); err != nil {
 		fmt.Fprintln(os.Stderr, "leraserver:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec string,
-	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism, planCache, planCacheVal int) error {
+	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism, planCache, planCacheVal int,
+	rowEngine bool, batchSize int) error {
 	cfg := server.Config{
 		LoadFilms:           films,
 		MaxInFlight:         maxInFlight,
@@ -59,6 +71,8 @@ func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec st
 		Parallelism:         parallelism,
 		PlanCache:           planCache,
 		PlanCacheValidation: planCacheVal,
+		RowEngine:           rowEngine,
+		BatchSize:           batchSize,
 		ErrorLog:            os.Stderr,
 	}
 	if planCache > 0 {

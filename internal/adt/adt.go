@@ -32,19 +32,44 @@ type Entry struct {
 // Registry maps (case-insensitive) function names to implementations.
 type Registry struct {
 	fns map[string]Entry
+	// overridden records post-construction Register calls. The engine's
+	// compiled comparison fast path may only bypass the registry while
+	// the builtin implementations (pure value.Compare wrappers — total,
+	// never erring) are still in place, so the registry tracks whether an
+	// implementor replaced one.
+	overridden map[string]bool
+	sealed     bool
 }
 
 // NewRegistry returns a registry pre-populated with the built-in library.
 func NewRegistry() *Registry {
-	r := &Registry{fns: map[string]Entry{}}
+	r := &Registry{fns: map[string]Entry{}, overridden: map[string]bool{}}
 	r.registerBuiltins()
+	r.sealed = true
 	return r
 }
 
 // Register installs a function, replacing any previous definition of the
 // same name — the extensibility hook for database implementors.
 func (r *Registry) Register(name string, arity int, pure bool, fn Func) {
-	r.fns[strings.ToUpper(name)] = Entry{Name: name, Arity: arity, Pure: pure, Fn: fn}
+	key := strings.ToUpper(name)
+	if r.sealed {
+		r.overridden[key] = true
+	}
+	r.fns[key] = Entry{Name: name, Arity: arity, Pure: pure, Fn: fn}
+}
+
+// IsBuiltinComparison reports whether name is one of the six comparison
+// operators and still bound to its builtin implementation — a pure,
+// total wrapper over value.Compare that can never error or panic. The
+// engine relies on this to decide whether a comparison may be compiled
+// down to a direct value.Compare call.
+func (r *Registry) IsBuiltinComparison(name string) bool {
+	switch name {
+	case "=", "<>", "<", ">", "<=", ">=":
+		return !r.overridden[strings.ToUpper(name)]
+	}
+	return false
 }
 
 // Lookup finds a function by name.

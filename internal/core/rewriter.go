@@ -53,6 +53,7 @@ type config struct {
 	blockLimits   map[string]int
 	ruleCheck     bool
 	fullScan      bool
+	rowEngine     bool
 	injector      *guard.Injector
 	planCache     int
 	planCacheVal  int
@@ -111,6 +112,14 @@ func WithBlockLimit(name string, limit int) Option {
 // rewrites (docs/PERF.md); this exists as the differential-testing oracle
 // and as an escape hatch while diagnosing index-related surprises.
 func WithFullScan() Option { return func(c *config) { c.fullScan = true } }
+
+// WithRowEngine selects the retained tuple-at-a-time execution engine
+// instead of the default batched one — the execution-side counterpart of
+// WithFullScan. Rows, work counters and EXPLAIN ANALYZE statistics are
+// bit-identical between the two engines (docs/PERF.md, "Batched
+// execution & relation indexes"); this exists as the differential-testing
+// oracle and as an escape hatch while diagnosing batch-engine surprises.
+func WithRowEngine() Option { return func(c *config) { c.rowEngine = true } }
 
 // WithInjector arms a deterministic fault injector across the whole
 // pipeline: every rewrite-side external (constraint, method, builtin) and

@@ -45,6 +45,11 @@ type Session struct {
 	// execution").
 	Parallelism int
 
+	// BatchSize is the batched engine's row-batch granularity: 0 means
+	// engine.DefaultBatchSize. Results never depend on it (docs/PERF.md,
+	// "Batched execution & relation indexes").
+	BatchSize int
+
 	// Obs is the session's observability sink (see internal/obs and
 	// docs/OBSERVABILITY.md): nil disables the layer entirely; with an
 	// observer, pipeline metrics accumulate in Obs.Metrics and — when
@@ -92,8 +97,21 @@ func NewSession(opts ...Option) *Session {
 	// from its config, the engine from DB.Injector, so one injector
 	// covers constraints, methods, builtins and ADT calls alike.
 	s.DB.Injector = injectorOf(opts)
+	// WithRowEngine routes execution through the tuple-at-a-time oracle;
+	// like fullScan on the rewrite side it changes no observable output,
+	// so it is deliberately NOT part of the plan-cache knob environment.
+	s.DB.RowEngine = rowEngineOf(opts)
 	s.Plans, s.validateEvery = planCacheOf(opts)
 	return s
+}
+
+// rowEngineOf extracts the WithRowEngine flag from an option list.
+func rowEngineOf(opts []Option) bool {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.rowEngine
 }
 
 // injectorOf extracts the WithInjector value from an option list (nil
@@ -137,6 +155,7 @@ func (s *Session) Fork() (*Session, error) {
 		Rewrite:       s.Rewrite,
 		Limits:        s.Limits,
 		Parallelism:   s.Parallelism,
+		BatchSize:     s.BatchSize,
 		Obs:           s.Obs,
 		Plans:         s.Plans,
 		validateEvery: s.validateEvery,
@@ -482,6 +501,7 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	defer cancel()
 	s.DB.Limits = s.Limits
 	s.DB.Parallelism = s.Parallelism
+	s.DB.BatchSize = s.BatchSize
 
 	collect := analyze || rec.Enabled() || s.DB.CollectStats
 	savedCollect := s.DB.CollectStats

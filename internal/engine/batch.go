@@ -1,0 +1,425 @@
+package engine
+
+// The batched execution engine — the default since the PR that added it.
+// Operators produce and consume row batches (DefaultBatchSize rows at a
+// time) so the hot loops run tight over slices with one amortized guard
+// tick, one counter update and one stats touch per batch instead of
+// per-row function dispatch. Row identity uses 64-bit hashed keys with
+// collision-checked buckets (hash.go) in place of the oracle's rowKey
+// strings, and SEARCH join build sides over stored relations come from
+// the persistent index set (index.go, batchsearch.go).
+//
+// The contract with the retained tuple-at-a-time oracle (DB.RowEngine,
+// engine.go) is bit-identity: rows in the same order, every Counters
+// field, and the EXPLAIN ANALYZE OpStats tree must be indistinguishable
+// at every BatchSize and Parallelism setting, under guard budgets and
+// fault injection alike. Counters therefore keep the oracle's *logical*
+// work model — e.g. REL accounts Scanned on every stored access even
+// when a warm index means no physical rescan happens.
+
+import (
+	"fmt"
+
+	"lera/internal/guard"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// DefaultBatchSize is the row-batch granularity of the batched engine
+// when DB.BatchSize is zero.
+const DefaultBatchSize = 1024
+
+// batchSize returns the effective batch granularity.
+func (db *DB) batchSize() int {
+	if db.BatchSize > 0 {
+		return db.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// tickRows is the batched form of tickRow: it advances the amortized
+// cancellation tick by n rows at once and consults the context only when
+// a guardTickInterval boundary is crossed — the same tick total as n
+// tickRow calls, one branch per batch.
+func (db *DB) tickRows(n int) error {
+	g := db.g
+	if g == nil || n <= 0 {
+		return nil
+	}
+	before := g.tick
+	g.tick += n
+	if before/guardTickInterval == g.tick/guardTickInterval {
+		return nil
+	}
+	return guard.CheckCtx(g.ctx)
+}
+
+// rowArena amortizes output-row allocation: rows are carved out of shared
+// blocks with full-capacity slicing, so an append on a returned row can
+// never alias the next one. Blocks grow geometrically from a small first
+// block to arenaMaxBlockValues, so the thousands of tiny evaluations a
+// fixpoint performs don't each zero a full-size block while large scans
+// still amortize to one allocation per ~8k values. One arena per worker
+// chunk — never shared across goroutines.
+type rowArena struct {
+	buf []value.Value
+	blk int
+}
+
+// Arena block growth bounds, in values (not rows).
+const (
+	arenaMinBlockValues = 64
+	arenaMaxBlockValues = 8192
+)
+
+// alloc returns a zeroed row of n values from the arena.
+func (a *rowArena) alloc(n int) []value.Value {
+	if n == 0 {
+		return nil
+	}
+	if len(a.buf)+n > cap(a.buf) {
+		blk := a.blk * 2
+		if blk < arenaMinBlockValues {
+			blk = arenaMinBlockValues
+		}
+		if blk > arenaMaxBlockValues {
+			blk = arenaMaxBlockValues
+		}
+		if blk < n {
+			blk = n
+		}
+		a.blk = blk
+		a.buf = make([]value.Value, 0, blk)
+	}
+	s := len(a.buf)
+	a.buf = a.buf[:s+n]
+	return a.buf[s : s+n : s+n]
+}
+
+// join returns the concatenation l ++ r as a fresh arena row.
+func (a *rowArena) join(l, r []value.Value) []value.Value {
+	row := a.alloc(len(l) + len(r))
+	copy(row, l)
+	copy(row[len(l):], r)
+	return row
+}
+
+// evalOpBatch dispatches the data-moving operators to their batched
+// implementations.
+func (db *DB) evalOpBatch(t *term.Term, e env) (*Relation, error) {
+	switch t.Functor {
+	case "SEARCH":
+		return db.evalSearchBatch(t, e)
+	case "FILTER":
+		return db.evalFilterBatch(t, e)
+	case "JOIN":
+		return db.evalJoinBatch(t, e)
+	case "UNIONN":
+		return db.evalUnionBatch(t, e)
+	case "INTERN":
+		return db.evalInterBatch(t, e)
+	case "DIFF":
+		return db.evalDiffBatch(t, e)
+	case "NEST":
+		return db.evalNestBatch(t, e)
+	case "UNNEST":
+		return db.evalUnnestBatch(t, e)
+	}
+	return nil, fmt.Errorf("engine: unknown operator %s", t.Functor)
+}
+
+func (db *DB) evalFilterBatch(t *term.Term, e env) (*Relation, error) {
+	in, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	kept, err := db.mapRowChunks(in.Rows, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+		var out [][]value.Value
+		bs := w.batchSize()
+		ctxRows := make([][]value.Value, 1) // reused single-relation row context
+		for len(chunk) > 0 {
+			batch := chunk
+			if len(batch) > bs {
+				batch = batch[:bs]
+			}
+			chunk = chunk[len(batch):]
+			if err := w.tickRows(len(batch)); err != nil {
+				return nil, err
+			}
+			for _, row := range batch {
+				ctxRows[0] = row
+				ok, err := w.evalBool(t.Args[1], ctxRows)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, row)
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Rows: dedupRows(kept), Width: in.Arity()}
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalJoinBatch(t *term.Term, e env) (*Relation, error) {
+	left, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.eval(t.Args[1], e)
+	if err != nil {
+		return nil, err
+	}
+	// The raw JOIN operator stays a nested loop in both engines: every
+	// pair is accounted in JoinPairs, so converting it to a hash join
+	// would change the work model (SEARCH is where join planning lives).
+	out := &Relation{Width: left.Arity() + right.Arity()}
+	ar := &rowArena{}
+	ctxRows := make([][]value.Value, 2)
+	bs := db.batchSize()
+	for _, l := range left.Rows {
+		ctxRows[0] = l
+		for ri := 0; ri < len(right.Rows); {
+			n := len(right.Rows) - ri
+			if n > bs {
+				n = bs
+			}
+			if err := db.tickRows(n); err != nil {
+				return nil, err
+			}
+			for _, r := range right.Rows[ri : ri+n] {
+				// JoinPairs stays per-pair (not per-batch) so the counter
+				// state is oracle-identical when a qualification faults
+				// mid-batch.
+				db.Count.JoinPairs++
+				ctxRows[1] = r
+				ok, err := db.evalBool(t.Args[2], ctxRows)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out.Rows = append(out.Rows, ar.join(l, r))
+				}
+			}
+			ri += n
+		}
+	}
+	out.Rows = dedupRows(out.Rows)
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalUnionBatch(t *term.Term, e env) (*Relation, error) {
+	rels, err := db.evalMembers(t.Args[0].Args, e)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{}
+	total := 0
+	for _, r := range rels {
+		total += len(r.Rows)
+	}
+	rows := make([][]value.Value, 0, total)
+	for _, r := range rels {
+		if out.Width == 0 {
+			out.Width = r.Arity()
+		}
+		rows = append(rows, r.Rows...)
+	}
+	out.Rows = dedupRows(rows)
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalInterBatch(t *term.Term, e env) (*Relation, error) {
+	members := t.Args[0].Args
+	if len(members) == 0 {
+		return nil, fmt.Errorf("engine: empty intersection")
+	}
+	acc, err := db.eval(members[0], e)
+	if err != nil {
+		return nil, err
+	}
+	keys := newRowSet()
+	for _, row := range acc.Rows {
+		keys.add(row)
+	}
+	for _, m := range members[1:] {
+		r, err := db.eval(m, e)
+		if err != nil {
+			return nil, err
+		}
+		next := newRowSet()
+		for _, row := range r.Rows {
+			if keys.has(row) {
+				next.add(row)
+			}
+		}
+		keys = next
+	}
+	out := &Relation{Width: acc.Arity()}
+	seen := newRowSet()
+	for _, row := range acc.Rows {
+		if keys.has(row) && seen.add(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalDiffBatch(t *term.Term, e env) (*Relation, error) {
+	left, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.eval(t.Args[1], e)
+	if err != nil {
+		return nil, err
+	}
+	drop := newRowSet()
+	for _, row := range right.Rows {
+		drop.add(row)
+	}
+	out := &Relation{Width: left.Arity()}
+	seen := newRowSet()
+	for _, row := range left.Rows {
+		if !drop.has(row) && seen.add(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalNestBatch(t *term.Term, e env) (*Relation, error) {
+	in, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	nested := map[int]bool{}
+	var nestedIdx []int
+	for _, ix := range t.Args[1].Args {
+		j := int(ix.Val.I)
+		nested[j] = true
+		nestedIdx = append(nestedIdx, j)
+	}
+	type nestGroup struct {
+		key   []value.Value
+		elems []value.Value
+	}
+	var order []*nestGroup
+	buckets := map[uint64][]*nestGroup{}
+	var keyScratch []value.Value
+	for _, row := range in.Rows {
+		if len(nestedIdx) > 0 && nestedIdx[len(nestedIdx)-1] > len(row) {
+			return nil, fmt.Errorf("engine: NEST index out of range for row of width %d", len(row))
+		}
+		keyScratch = keyScratch[:0]
+		for j := 1; j <= len(row); j++ {
+			if !nested[j] {
+				keyScratch = append(keyScratch, row[j-1])
+			}
+		}
+		var elem value.Value
+		if len(nestedIdx) == 1 {
+			elem = row[nestedIdx[0]-1]
+		} else {
+			names := make([]string, len(nestedIdx))
+			vals := make([]value.Value, len(nestedIdx))
+			for i, j := range nestedIdx {
+				names[i] = fmt.Sprintf("a%d", j)
+				vals[i] = row[j-1]
+			}
+			elem = value.NewTuple(names, vals)
+		}
+		h := rowHash(keyScratch)
+		var g *nestGroup
+		for _, cand := range buckets[h] {
+			if rowKeyEq(cand.key, keyScratch) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &nestGroup{key: append([]value.Value(nil), keyScratch...)}
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
+		}
+		g.elems = append(g.elems, elem)
+	}
+	out := &Relation{}
+	if w := in.Arity(); w > 0 {
+		out.Width = w - len(nestedIdx) + 1
+	}
+	for _, g := range order {
+		out.Rows = append(out.Rows, append(append([]value.Value(nil), g.key...), value.NewSet(g.elems...)))
+	}
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (db *DB) evalUnnestBatch(t *term.Term, e env) (*Relation, error) {
+	in, err := db.eval(t.Args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	j := int(t.Args[1].Val.I)
+	out := &Relation{Width: in.Arity()}
+	bs := db.batchSize()
+	rows := in.Rows
+	for len(rows) > 0 {
+		batch := rows
+		if len(batch) > bs {
+			batch = batch[:bs]
+		}
+		rows = rows[len(batch):]
+		if err := db.tickRows(len(batch)); err != nil {
+			return nil, err
+		}
+		for _, row := range batch {
+			if j < 1 || j > len(row) {
+				return nil, fmt.Errorf("engine: UNNEST index %d out of range", j)
+			}
+			coll := row[j-1]
+			if !coll.K.IsCollection() {
+				return nil, fmt.Errorf("engine: UNNEST column %d is %s, not a collection", j, coll.K)
+			}
+			for _, el := range coll.Elems {
+				nrow := append([]value.Value(nil), row...)
+				nrow[j-1] = el
+				out.Rows = append(out.Rows, nrow)
+			}
+		}
+	}
+	out.Rows = dedupRows(out.Rows)
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

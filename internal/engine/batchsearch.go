@@ -1,0 +1,542 @@
+package engine
+
+// Batched SEARCH evaluation. Planning (static-false short-circuit,
+// relation evaluation order, conjunct classification, widths and the
+// empty-relation short-circuit) is shared with the oracle through
+// prepareSearch/equiJoinKeys so both engines make identical decisions;
+// only the row loops differ:
+//
+//   - hash-join build sides come from the persistent index set when the
+//     build relation is stored (acquireJoinIndex), probes emit matches
+//     with one amortized tick and counter update per probe row;
+//   - the filter and projection stages run over compiled predicate and
+//     projection programs: built-in comparisons over attribute slots,
+//     constants and single-attribute function calls evaluate without
+//     term-tree walks or row re-splitting, falling back to the generic
+//     evaluator (bit-identical by construction) for everything else.
+//     Compilation of comparisons is disabled when a fault injector is
+//     armed, since the compiled path would skip the injector hit the
+//     oracle's ADT call performs.
+
+import (
+	"fmt"
+	"strings"
+
+	"lera/internal/lera"
+	"lera/internal/term"
+	"lera/internal/value"
+)
+
+// searchPrep is the planning state shared by both engines.
+type searchPrep struct {
+	plan   *searchPlan
+	widths []int
+	offset []int
+	// names[i] is the stored-relation name of relation i when its term is
+	// a plain REL over a stored relation (not shadowed by a LET/FIX
+	// binding, not a view) — the index-eligible case — and "" otherwise.
+	names []string
+}
+
+// prepareSearch runs the SEARCH planning steps shared by the batched and
+// oracle engines. It returns a non-nil short relation when the search
+// short-circuits (statically false qualification, or an empty input
+// relation) — both cases preserve the declared projection arity.
+func (db *DB) prepareSearch(t *term.Term, e env) (*searchPrep, *Relation, error) {
+	relTerms := t.Args[0].Args
+	if len(relTerms) == 0 {
+		return nil, nil, fmt.Errorf("engine: SEARCH with empty relation list")
+	}
+	// A statically false qualification short-circuits before any stored
+	// relation is touched — the payoff of the semantic inconsistency
+	// rules (§6.2): zero tuples scanned. The empty result still declares
+	// the projection arity.
+	for _, c := range lera.Conjuncts(t.Args[1]) {
+		if c.Kind == term.Const && c.Val.K == value.KBool && !c.Val.B {
+			return nil, &Relation{Width: len(t.Args[2].Args)}, nil
+		}
+	}
+	plan := &searchPlan{projs: t.Args[2].Args}
+	names := make([]string, len(relTerms))
+	for i, rt := range relTerms {
+		r, err := db.eval(rt, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan.rels = append(plan.rels, r)
+		names[i] = db.storedRelName(rt, e)
+	}
+	for _, c := range lera.Conjuncts(t.Args[1]) {
+		plan.conjs = append(plan.conjs, conjunct{expr: c, maxRel: maxRelIndex(c)})
+	}
+	widths := make([]int, len(plan.rels))
+	for i, r := range plan.rels {
+		if len(r.Rows) == 0 {
+			return nil, &Relation{Width: len(plan.projs)}, nil
+		}
+		widths[i] = len(r.Rows[0])
+	}
+	offset := make([]int, len(plan.rels)+1)
+	for i, w := range widths {
+		offset[i+1] = offset[i] + w
+	}
+	return &searchPrep{plan: plan, widths: widths, offset: offset, names: names}, nil, nil
+}
+
+// storedRelName resolves a relation term to its stored-relation name the
+// same way REL evaluation does — env binding first, then stored relations
+// — returning "" unless the term is served straight from db.rels.
+func (db *DB) storedRelName(rt *term.Term, e env) string {
+	if rt.Kind != term.Fun || rt.Functor != "REL" {
+		return ""
+	}
+	name := strings.ToUpper(rt.Args[0].Val.S)
+	if _, ok := e[name]; ok {
+		return ""
+	}
+	if _, ok := db.rels[name]; ok {
+		return name
+	}
+	return ""
+}
+
+// equiJoinKeys finds (and marks used) the equi-join conjuncts
+// ATTR(a,x) = ATTR(b,y) connecting the joined prefix (< ri) to relation
+// ri; leftKeys are flat prefix slots, rightKeys are 0-based columns of
+// relation ri. Shared by both engines so conjunct consumption is
+// identical.
+func equiJoinKeys(plan *searchPlan, ri int, offset []int) (leftKeys, rightKeys []int) {
+	attrSlot := func(i, j int) int { return offset[i-1] + j - 1 }
+	for ci := range plan.conjs {
+		c := &plan.conjs[ci]
+		if c.used || c.expr.Kind != term.Fun || c.expr.Functor != "=" || len(c.expr.Args) != 2 {
+			continue
+		}
+		ai, aj, okA := lera.AttrIdx(c.expr.Args[0])
+		bi, bj, okB := lera.AttrIdx(c.expr.Args[1])
+		if !okA || !okB {
+			continue
+		}
+		switch {
+		case ai < ri && bi == ri:
+			leftKeys = append(leftKeys, attrSlot(ai, aj))
+			rightKeys = append(rightKeys, bj-1)
+			c.used = true
+		case bi < ri && ai == ri:
+			leftKeys = append(leftKeys, attrSlot(bi, bj))
+			rightKeys = append(rightKeys, aj-1)
+			c.used = true
+		}
+	}
+	return leftKeys, rightKeys
+}
+
+// acquireJoinIndex returns the join index for a build side: the shared
+// persistent one when the relation is stored, a transient build otherwise.
+func (db *DB) acquireJoinIndex(name string, rows [][]value.Value, keyIdx []int) *joinIndex {
+	if name != "" && db.idx != nil {
+		return db.idx.acquire(db.Cat.DataVersion(), name, rows, keyIdx)
+	}
+	return buildJoinIndex(rows, keyIdx)
+}
+
+func (db *DB) evalSearchBatch(t *term.Term, e env) (*Relation, error) {
+	prep, short, err := db.prepareSearch(t, e)
+	if err != nil {
+		return nil, err
+	}
+	if short != nil {
+		return short, nil
+	}
+	plan, widths := prep.plan, prep.widths
+
+	current, err := db.filterRowsBatch(plan.rels[0].Rows, plan, 1, widths[:1])
+	if err != nil {
+		return nil, err
+	}
+
+	for ri := 2; ri <= len(plan.rels); ri++ {
+		next := plan.rels[ri-1]
+		leftKeys, rightKeys := equiJoinKeys(plan, ri, prep.offset)
+		var joined [][]value.Value
+		if len(leftKeys) > 0 {
+			// Hash join through the (possibly persistent) index; matches
+			// surface in (probe row, build insertion) order, exactly the
+			// oracle's output sequence.
+			ix := db.acquireJoinIndex(prep.names[ri-1], next.Rows, rightKeys)
+			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+				var out [][]value.Value
+				ar := &rowArena{}
+				for _, prow := range chunk {
+					matches := ix.probe(prow, leftKeys)
+					if len(matches) == 0 {
+						continue
+					}
+					if err := w.tickRows(len(matches)); err != nil {
+						return nil, err
+					}
+					w.Count.JoinPairs += len(matches)
+					for _, rrow := range matches {
+						out = append(out, ar.join(prow, rrow))
+					}
+				}
+				return out, nil
+			})
+		} else {
+			bs := db.batchSize()
+			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+				var out [][]value.Value
+				ar := &rowArena{}
+				for _, prow := range chunk {
+					for ni := 0; ni < len(next.Rows); {
+						n := len(next.Rows) - ni
+						if n > bs {
+							n = bs
+						}
+						if err := w.tickRows(n); err != nil {
+							return nil, err
+						}
+						w.Count.JoinPairs += n
+						for _, rrow := range next.Rows[ni : ni+n] {
+							out = append(out, ar.join(prow, rrow))
+						}
+						ni += n
+					}
+				}
+				return out, nil
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		current, err = db.filterRowsBatch(joined, plan, ri, widths[:ri])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Final stage: leftover conjuncts (e.g. referencing no attributes)
+	// and the projection, both compiled.
+	preds := db.compilePreds(leftoverConjuncts(plan), widths)
+	projs := compileProjs(plan.projs, widths)
+	out := &Relation{Width: len(plan.projs)}
+	bs := db.batchSize()
+	projected, err := db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+		var kept [][]value.Value
+		ar := &rowArena{}
+		sc := newSplitScratch(widths)
+		for len(chunk) > 0 {
+			batch := chunk
+			if len(batch) > bs {
+				batch = batch[:bs]
+			}
+			chunk = chunk[len(batch):]
+			if err := w.tickRows(len(batch)); err != nil {
+				return nil, err
+			}
+		rowLoop:
+			for _, row := range batch {
+				sc.reset()
+				for i := range preds {
+					ok, err := preds[i].eval(w, row, sc)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue rowLoop
+					}
+				}
+				prow := ar.alloc(len(projs))
+				for i := range projs {
+					v, err := projs[i].eval(w, row, sc)
+					if err != nil {
+						return nil, err
+					}
+					prow[i] = v
+				}
+				kept = append(kept, prow)
+			}
+		}
+		return kept, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// LERA is an extension of Codd's algebra: relations are sets, so the
+	// projection output deduplicates.
+	out.Rows = dedupRows(projected)
+	db.Count.Emitted += len(out.Rows)
+	if err := db.chargeRows(len(out.Rows)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// filterRowsBatch is the batched filterRows: the same active-conjunct
+// selection and marking, with the conjuncts compiled and ticks amortized
+// per batch.
+func (db *DB) filterRowsBatch(rows [][]value.Value, plan *searchPlan, upto int, widths []int) ([][]value.Value, error) {
+	var active []*conjunct
+	for ci := range plan.conjs {
+		c := &plan.conjs[ci]
+		if !c.used && c.maxRel >= 1 && c.maxRel <= upto {
+			active = append(active, c)
+			c.used = true
+		}
+	}
+	if len(active) == 0 {
+		return rows, nil
+	}
+	preds := db.compilePreds(active, widths)
+	bs := db.batchSize()
+	return db.mapRowChunks(rows, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+		var out [][]value.Value
+		sc := newSplitScratch(widths)
+		for len(chunk) > 0 {
+			batch := chunk
+			if len(batch) > bs {
+				batch = batch[:bs]
+			}
+			chunk = chunk[len(batch):]
+			if err := w.tickRows(len(batch)); err != nil {
+				return nil, err
+			}
+			for _, row := range batch {
+				sc.reset()
+				keep := true
+				for i := range preds {
+					b, err := preds[i].eval(w, row, sc)
+					if err != nil {
+						return nil, err
+					}
+					if !b {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out = append(out, row)
+				}
+			}
+		}
+		return out, nil
+	})
+}
+
+// leftoverConjuncts returns the conjuncts no earlier stage consumed.
+func leftoverConjuncts(plan *searchPlan) []*conjunct {
+	var out []*conjunct
+	for ci := range plan.conjs {
+		c := &plan.conjs[ci]
+		if !c.used {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// splitScratch lazily splits a flat prefix row into per-relation segments
+// for the generic evaluator, computed at most once per row across every
+// generic predicate and projection.
+type splitScratch struct {
+	widths []int
+	rows   [][]value.Value
+	valid  bool
+}
+
+func newSplitScratch(widths []int) *splitScratch {
+	return &splitScratch{widths: widths, rows: make([][]value.Value, len(widths))}
+}
+
+func (sc *splitScratch) reset() { sc.valid = false }
+
+func (sc *splitScratch) get(row []value.Value) [][]value.Value {
+	if !sc.valid {
+		pos := 0
+		for i, w := range sc.widths {
+			sc.rows[i] = row[pos : pos+w]
+			pos += w
+		}
+		sc.valid = true
+	}
+	return sc.rows
+}
+
+// searchPred is one compiled qualification conjunct.
+type searchPred interface {
+	eval(w *DB, row []value.Value, sc *splitScratch) (bool, error)
+}
+
+// genericPred evaluates the conjunct through the ordinary evaluator —
+// the bit-identical fallback for everything the compiler does not cover.
+type genericPred struct{ expr *term.Term }
+
+func (p *genericPred) eval(w *DB, row []value.Value, sc *splitScratch) (bool, error) {
+	return w.evalBool(p.expr, sc.get(row))
+}
+
+// operand kinds of a compiled comparison.
+const (
+	opSlot  = iota // flat row slot (in-range ATTR)
+	opConst        // constant
+	opField        // single-attribute function call CALL(name, ATTR)
+)
+
+type operand struct {
+	kind  int
+	slot  int
+	cval  value.Value
+	field string
+}
+
+func (o *operand) fetch(w *DB, row []value.Value) (value.Value, error) {
+	switch o.kind {
+	case opSlot:
+		return row[o.slot], nil
+	case opConst:
+		return o.cval, nil
+	}
+	return w.callField(o.field, row[o.slot])
+}
+
+// cmpPred is a compiled built-in comparison. It reproduces the oracle
+// path — PredEvals accounting, operand evaluation order, the Figure 4
+// broadcast error for a collection-vs-scalar comparison, and the
+// value.Compare semantics of the built-in comparison ADTs — without the
+// expression-tree walk or the per-row ADT dispatch.
+type cmpPred struct {
+	expr *term.Term
+	op   string
+	a, b operand
+}
+
+func (p *cmpPred) eval(w *DB, row []value.Value, sc *splitScratch) (bool, error) {
+	w.Count.PredEvals++
+	av, err := p.a.fetch(w, row)
+	if err != nil {
+		return false, err
+	}
+	bv, err := p.b.fetch(w, row)
+	if err != nil {
+		return false, err
+	}
+	if av.K.IsCollection() != bv.K.IsCollection() {
+		// The oracle broadcasts the comparison over the collection and
+		// then fails to coerce the resulting collection to a boolean.
+		k := av.K
+		if !k.IsCollection() {
+			k = bv.K
+		}
+		return false, fmt.Errorf("engine: qualification %s evaluated to %s, not boolean", lera.Format(p.expr), k)
+	}
+	return cmpHolds(p.op, value.Compare(av, bv)), nil
+}
+
+// cmpHolds mirrors the built-in comparison registrations (internal/adt):
+// each holds exactly when the value.Compare result satisfies the operator.
+func cmpHolds(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case ">":
+		return c > 0
+	case "<=":
+		return c <= 0
+	}
+	return c >= 0
+}
+
+// compilePreds compiles conjuncts against the flat row layout described
+// by widths. A conjunct compiles to a cmpPred only when it is a built-in
+// (never overridden) comparison with both operands compilable and no
+// fault injector armed; everything else falls back to the generic
+// evaluator.
+func (db *DB) compilePreds(conjs []*conjunct, widths []int) []searchPred {
+	preds := make([]searchPred, len(conjs))
+	for i, c := range conjs {
+		preds[i] = db.compilePred(c.expr, widths)
+	}
+	return preds
+}
+
+func (db *DB) compilePred(e *term.Term, widths []int) searchPred {
+	if db.Injector == nil && e.Kind == term.Fun && len(e.Args) == 2 && db.Cat.ADTs.IsBuiltinComparison(e.Functor) {
+		if a, ok := compileOperand(e.Args[0], widths); ok {
+			if b, ok2 := compileOperand(e.Args[1], widths); ok2 {
+				return &cmpPred{expr: e, op: e.Functor, a: a, b: b}
+			}
+		}
+	}
+	return &genericPred{expr: e}
+}
+
+// compileOperand compiles a comparison operand: a constant, an in-range
+// attribute reference, or a function call over one in-range attribute.
+// Out-of-range attributes are left to the generic evaluator so its exact
+// bounds errors are preserved.
+func compileOperand(e *term.Term, widths []int) (operand, bool) {
+	if e.Kind == term.Const {
+		return operand{kind: opConst, cval: e.Val}, true
+	}
+	if i, j, ok := lera.AttrIdx(e); ok {
+		if slot, inRange := flatSlot(i, j, widths); inRange {
+			return operand{kind: opSlot, slot: slot}, true
+		}
+		return operand{}, false
+	}
+	if e.Kind == term.Fun && e.Functor == lera.ECall && len(e.Args) == 2 {
+		if name, ok := lera.CallName(e); ok {
+			if i, j, ok2 := lera.AttrIdx(e.Args[1]); ok2 {
+				if slot, inRange := flatSlot(i, j, widths); inRange {
+					return operand{kind: opField, field: name, slot: slot}, true
+				}
+			}
+		}
+	}
+	return operand{}, false
+}
+
+// flatSlot maps ATTR(i, j) to a flat row slot, reporting whether the
+// reference is within the layout.
+func flatSlot(i, j int, widths []int) (int, bool) {
+	if i < 1 || i > len(widths) || j < 1 || j > widths[i-1] {
+		return 0, false
+	}
+	slot := j - 1
+	for _, w := range widths[:i-1] {
+		slot += w
+	}
+	return slot, true
+}
+
+// projOp is one compiled projection: a flat slot copy for a pure in-range
+// attribute reference, the generic evaluator otherwise. The slot path is
+// safe under fault injection — attribute access never calls an ADT.
+type projOp struct {
+	slot int // >= 0: copy row[slot]
+	expr *term.Term
+}
+
+func (p *projOp) eval(w *DB, row []value.Value, sc *splitScratch) (value.Value, error) {
+	if p.slot >= 0 {
+		return row[p.slot], nil
+	}
+	return w.evalExpr(p.expr, sc.get(row))
+}
+
+func compileProjs(projs []*term.Term, widths []int) []projOp {
+	out := make([]projOp, len(projs))
+	for i, p := range projs {
+		out[i] = projOp{slot: -1, expr: p}
+		if pi, pj, ok := lera.AttrIdx(p); ok {
+			if slot, inRange := flatSlot(pi, pj, widths); inRange {
+				out[i].slot = slot
+			}
+		}
+	}
+	return out
+}

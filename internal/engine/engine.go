@@ -43,9 +43,14 @@ func (r *Relation) Arity() int {
 	return r.Width
 }
 
-// Key encodes a row for hashing and duplicate elimination.
+// Key encodes a row for hashing and duplicate elimination. This is the
+// retained oracle engine's key; the batched engine uses 64-bit hashed
+// keys instead (hash.go). The builder is pre-sized so the baseline the
+// batch engine is measured against isn't dominated by avoidable
+// reallocation.
 func rowKey(row []value.Value) string {
 	var sb strings.Builder
+	sb.Grow(16 * len(row))
 	for _, v := range row {
 		sb.WriteString(v.Key())
 		sb.WriteByte('|')
@@ -126,8 +131,21 @@ type DB struct {
 	// guard/faultinject.go for the determinism contract). Injected
 	// faults surface as typed ExternalErrors, like real ADT failures.
 	Injector *guard.Injector
+	// RowEngine selects the retained tuple-at-a-time oracle engine
+	// instead of the default batched engine — the execution-side analogue
+	// of the rewriter's full-scan oracle. Rows, Counters and EXPLAIN
+	// ANALYZE OpStats trees are bit-identical between the two engines at
+	// every BatchSize and Parallelism setting (docs/PERF.md, "Batched
+	// execution & relation indexes").
+	RowEngine bool
+	// BatchSize is the row-batch granularity of the batched engine: hot
+	// loops process rows in batches of this size with one amortized
+	// cancellation tick per batch. 0 means DefaultBatchSize. Results
+	// never depend on it.
+	BatchSize int
 
 	rels      map[string]*Relation
+	idx       *indexSet  // persistent per-relation join indexes, shared across forks
 	g         *evalGuard // per-EvalCtx guard state (nil outside a call)
 	lastStats *OpStats   // stats tree of the last CollectStats run
 }
@@ -192,7 +210,7 @@ func (db *DB) chargeRows(n int) error {
 
 // New creates an empty database over a catalog.
 func New(cat *catalog.Catalog) *DB {
-	return &DB{Cat: cat, Objects: map[int64]value.Value{}, rels: map[string]*Relation{}}
+	return &DB{Cat: cat, Objects: map[int64]value.Value{}, rels: map[string]*Relation{}, idx: newIndexSet()}
 }
 
 // Fork returns a database sharing this one's stored relations, object
@@ -202,7 +220,10 @@ func New(cat *catalog.Catalog) *DB {
 // mutable evaluation state. The shared storage is treated as immutable;
 // forks serving concurrent readers must not Load/Insert/SetObject (the
 // server enforces this by accepting only SELECTs). Mode, Limits,
-// Parallelism and Injector are copied as defaults the fork may override.
+// Parallelism, Injector and the engine knobs (RowEngine, BatchSize) are
+// copied as defaults the fork may override; the persistent relation
+// indexes are shared, so a fork pool probes warm indexes instead of
+// rebuilding per fork.
 func (db *DB) Fork() *DB {
 	return &DB{
 		Cat:         db.Cat,
@@ -211,7 +232,10 @@ func (db *DB) Fork() *DB {
 		Limits:      db.Limits,
 		Parallelism: db.Parallelism,
 		Injector:    db.Injector,
+		RowEngine:   db.RowEngine,
+		BatchSize:   db.BatchSize,
 		rels:        db.rels,
+		idx:         db.idx,
 	}
 }
 
@@ -231,7 +255,13 @@ func (db *DB) Load(name string, rows [][]value.Value) error {
 		rel.EstRows = len(rows)
 		db.Cat.BumpDataVersion()
 	}
-	db.rels[strings.ToUpper(name)] = stored
+	key := strings.ToUpper(name)
+	db.rels[key] = stored
+	if db.idx != nil {
+		// Drop cached indexes of this relation explicitly: the data-version
+		// bump above covers declared relations, this covers the rest.
+		db.idx.invalidate(key)
+	}
 	return nil
 }
 
@@ -253,6 +283,9 @@ func (db *DB) Insert(name string, row []value.Value) error {
 	if rel, ok := db.Cat.Relation(name); ok {
 		rel.EstRows = len(r.Rows)
 		db.Cat.BumpDataVersion()
+	}
+	if db.idx != nil {
+		db.idx.invalidate(key)
 	}
 	return nil
 }
@@ -328,6 +361,12 @@ func (db *DB) eval(t *term.Term, e env) (*Relation, error) {
 	return db.evalOp(t, e)
 }
 
+// evalOp dispatches one operator. REL, LET and FIX are pure control flow
+// shared by both engines (their recursive eval calls re-dispatch, so a
+// fixpoint body runs batched under the batch engine and row-at-a-time
+// under the oracle); the data-moving operators route to the batched
+// implementations (batch.go, batchsearch.go) by default, or to the
+// retained tuple-at-a-time oracle when RowEngine is set.
 func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 	if t.Kind != term.Fun {
 		return nil, fmt.Errorf("engine: cannot evaluate %s", t)
@@ -352,6 +391,31 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 		}
 		return nil, fmt.Errorf("engine: unknown relation %q", name)
 
+	case "LET":
+		def, err := db.eval(t.Args[1], e)
+		if err != nil {
+			return nil, err
+		}
+		inner := e.clone()
+		inner[strings.ToUpper(t.Args[0].Val.S)] = def
+		return db.eval(t.Args[2], inner)
+
+	case "FIX":
+		return db.evalFix(t, e)
+	}
+	if db.RowEngine {
+		return db.evalOpRow(t, e)
+	}
+	return db.evalOpBatch(t, e)
+}
+
+// evalOpRow is the retained tuple-at-a-time oracle engine: per-row
+// function dispatch, string row keys, no persistent indexes. It is kept
+// bit-identical in results, Counters and OpStats to the batched engine,
+// exactly as the rewriter keeps its full-scan match loop as the oracle
+// for the indexed one.
+func (db *DB) evalOpRow(t *term.Term, e env) (*Relation, error) {
+	switch t.Functor {
 	case "SEARCH":
 		return db.evalSearch(t, e)
 
@@ -510,18 +574,6 @@ func (db *DB) evalOp(t *term.Term, e env) (*Relation, error) {
 			return nil, err
 		}
 		return out, nil
-
-	case "LET":
-		def, err := db.eval(t.Args[1], e)
-		if err != nil {
-			return nil, err
-		}
-		inner := e.clone()
-		inner[strings.ToUpper(t.Args[0].Val.S)] = def
-		return db.eval(t.Args[2], inner)
-
-	case "FIX":
-		return db.evalFix(t, e)
 
 	case "NEST":
 		return db.evalNest(t, e)

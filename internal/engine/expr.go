@@ -222,19 +222,25 @@ func (db *DB) projectField(v value.Value, field string) (value.Value, error) {
 // first (NAME(actor)), with collection broadcast, then the ADT registry.
 func (db *DB) call(name string, args []value.Value) (value.Value, error) {
 	if len(args) == 1 {
-		a := args[0]
-		if a.K == value.KOID || a.K == value.KTuple {
-			if v, err := db.projectField(a, name); err == nil {
-				return v, nil
-			}
-		}
-		if a.K.IsCollection() && a.Len() > 0 && (a.Elems[0].K == value.KTuple || a.Elems[0].K == value.KOID) {
-			if v, err := db.projectField(a, name); err == nil {
-				return v, nil
-			}
-		}
+		return db.callField(name, args[0])
 	}
 	return db.adtCall(name, args)
+}
+
+// callField is the single-argument case of call — the shape the compiled
+// search predicates (batchsearch.go) invoke directly.
+func (db *DB) callField(name string, a value.Value) (value.Value, error) {
+	if a.K == value.KOID || a.K == value.KTuple {
+		if v, err := db.projectField(a, name); err == nil {
+			return v, nil
+		}
+	}
+	if a.K.IsCollection() && a.Len() > 0 && (a.Elems[0].K == value.KTuple || a.Elems[0].K == value.KOID) {
+		if v, err := db.projectField(a, name); err == nil {
+			return v, nil
+		}
+	}
+	return db.adtCall(name, []value.Value{a})
 }
 
 // adtCall invokes an ADT function through the catalog registry with panic

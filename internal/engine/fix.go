@@ -39,7 +39,7 @@ func (db *DB) fixIterCap() int { return db.Limits.FixIterations() }
 func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 	db.setStatsDetail(name + " [naive]")
 	total := &Relation{}
-	seen := map[string]bool{}
+	seen := db.newSeenSet()
 	cap := db.fixIterCap()
 	for iters := 1; ; iters++ {
 		db.Count.FixIterations++
@@ -58,9 +58,7 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 			next.Width = r.Arity()
 		}
 		for _, row := range r.Rows {
-			k := rowKey(row)
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(row) {
 				next.Rows = append(next.Rows, row)
 				added++
 			}
@@ -103,13 +101,11 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 	}
 
 	total := &Relation{}
-	seen := map[string]bool{}
+	seen := db.newSeenSet()
 	add := func(rows [][]value.Value) *Relation {
 		delta := &Relation{Width: total.Width}
 		for _, row := range rows {
-			k := rowKey(row)
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(row) {
 				total.Rows = append(total.Rows, row)
 				delta.Rows = append(delta.Rows, row)
 			}

@@ -77,7 +77,10 @@ func (db *DB) worker(ctx context.Context) *DB {
 		Limits:       db.Limits,
 		CollectStats: db.CollectStats,
 		Parallelism:  db.Parallelism,
+		RowEngine:    db.RowEngine,
+		BatchSize:    db.BatchSize,
 		rels:         db.rels,
+		idx:          db.idx,
 		Injector:     db.Injector,
 	}
 	wg := &evalGuard{ctx: ctx, lim: g.lim, rows: g.rows, pool: g.pool}

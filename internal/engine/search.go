@@ -8,8 +8,6 @@ package engine
 // is computed last.
 
 import (
-	"fmt"
-
 	"lera/internal/lera"
 	"lera/internal/term"
 	"lera/internal/value"
@@ -39,80 +37,29 @@ func maxRelIndex(e *term.Term) int {
 }
 
 func (db *DB) evalSearch(t *term.Term, e env) (*Relation, error) {
-	relTerms := t.Args[0].Args
-	if len(relTerms) == 0 {
-		return nil, fmt.Errorf("engine: SEARCH with empty relation list")
+	// Planning — short-circuits, relation evaluation, conjunct
+	// classification, widths — is shared with the batched engine
+	// (batchsearch.go) so both make identical decisions.
+	prep, short, err := db.prepareSearch(t, e)
+	if err != nil {
+		return nil, err
 	}
-	// A statically false qualification short-circuits before any stored
-	// relation is touched — the payoff of the semantic inconsistency
-	// rules (§6.2): zero tuples scanned. The empty result still declares
-	// the projection arity.
-	for _, c := range lera.Conjuncts(t.Args[1]) {
-		if c.Kind == term.Const && c.Val.K == value.KBool && !c.Val.B {
-			return &Relation{Width: len(t.Args[2].Args)}, nil
-		}
+	if short != nil {
+		return short, nil
 	}
-	plan := &searchPlan{projs: t.Args[2].Args}
-	for _, rt := range relTerms {
-		r, err := db.eval(rt, e)
-		if err != nil {
-			return nil, err
-		}
-		plan.rels = append(plan.rels, r)
-	}
-	for _, c := range lera.Conjuncts(t.Args[1]) {
-		plan.conjs = append(plan.conjs, conjunct{expr: c, maxRel: maxRelIndex(c)})
-	}
-
-	// Join left to right. rows holds flattened prefixes; widths[i] is the
-	// arity of relation i (taken from its first row; empty relations
-	// short-circuit to an empty result).
-	widths := make([]int, len(plan.rels))
-	for i, r := range plan.rels {
-		if len(r.Rows) == 0 {
-			return &Relation{Width: len(plan.projs)}, nil
-		}
-		widths[i] = len(r.Rows[0])
-	}
-	offset := make([]int, len(plan.rels)+1)
-	for i, w := range widths {
-		offset[i+1] = offset[i] + w
-	}
-
-	// attrSlot maps ATTR(i, j) to a flat column index.
-	attrSlot := func(i, j int) int { return offset[i-1] + j - 1 }
+	plan, widths := prep.plan, prep.widths
 
 	current, err := db.filterRows(plan.rels[0].Rows, plan, 1, widths[:1])
 	if err != nil {
 		return nil, err
 	}
 
+	// Join left to right; rows holds flattened prefixes.
 	for ri := 2; ri <= len(plan.rels); ri++ {
 		next := plan.rels[ri-1].Rows
-		// Find equi-join conjuncts ATTR(a,x) = ATTR(b,y) with one side in
-		// the prefix (< ri) and the other in relation ri.
-		var leftKeys, rightKeys []int
-		for ci := range plan.conjs {
-			c := &plan.conjs[ci]
-			if c.used || c.expr.Kind != term.Fun || c.expr.Functor != "=" || len(c.expr.Args) != 2 {
-				continue
-			}
-			ai, aj, okA := lera.AttrIdx(c.expr.Args[0])
-			bi, bj, okB := lera.AttrIdx(c.expr.Args[1])
-			if !okA || !okB {
-				continue
-			}
-			switch {
-			case ai < ri && bi == ri:
-				leftKeys = append(leftKeys, attrSlot(ai, aj))
-				rightKeys = append(rightKeys, bj-1)
-				c.used = true
-			case bi < ri && ai == ri:
-				leftKeys = append(leftKeys, attrSlot(bi, bj))
-				rightKeys = append(rightKeys, aj-1)
-				c.used = true
-			}
-		}
+		// Equi-join conjuncts ATTR(a,x) = ATTR(b,y) with one side in the
+		// prefix (< ri) and the other in relation ri select a hash join.
+		leftKeys, rightKeys := equiJoinKeys(plan, ri, prep.offset)
 		var joined [][]value.Value
 		if len(leftKeys) > 0 {
 			// Hash join: build on the new relation (partitioned by key

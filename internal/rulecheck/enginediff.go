@@ -1,14 +1,16 @@
 package rulecheck
 
-// Three-way engine differential harness: the generated corpus is executed
-// under every evaluation variant the engine offers — naive and semi-naive
-// fixpoint mode, each serially and on a worker pool — and the results are
-// cross-checked. Mode pairs must agree as multisets (row order is not part
-// of the fixpoint-mode contract); serial/parallel pairs of the same mode
-// must agree bit-for-bit, rows in the same order, because parallel
-// evaluation promises determinism (docs/PERF.md). This is the random-corpus
-// half of the parallel differential gate; the golden Figure 3–12 half lives
-// in internal/core.
+// Engine differential harness: the generated corpus is executed under
+// every evaluation variant the engine offers — the batched engine and the
+// tuple-at-a-time oracle, each in naive and semi-naive fixpoint mode, each
+// serially and on a worker pool — and the results are cross-checked.
+// Mode pairs must agree as multisets (row order is not part of the
+// fixpoint-mode contract); serial/parallel pairs of the same engine and
+// mode, and batch/row pairs of the same mode, must agree bit-for-bit,
+// rows in the same order — parallel evaluation promises determinism and
+// the batched engine promises oracle bit-identity (docs/PERF.md). This is
+// the random-corpus half of the parallel and engine differential gates;
+// the golden Figure 3–12 half lives in internal/core.
 
 import (
 	"context"
@@ -21,7 +23,8 @@ import (
 )
 
 // EngineDiffOptions configures the engine differential harness. The zero
-// value is usable: seed 1, 4 rows per relation, 4 workers, no limits.
+// value is usable: seed 1, 4 rows per relation, 4 workers, default batch
+// size, no limits.
 type EngineDiffOptions struct {
 	// Seed drives the data and corpus generation (same contract as
 	// DiffOptions.Seed).
@@ -31,6 +34,10 @@ type EngineDiffOptions struct {
 	// Parallelism is the pool size of the parallel variants (minimum 2 to
 	// actually exercise worker goroutines).
 	Parallelism int
+	// BatchSize is the batch granularity of the batched variants
+	// (0 = engine.DefaultBatchSize). Results must not depend on it — run
+	// the harness at several values to prove that.
+	BatchSize int
 	// Limits is the guard budget applied to every evaluation.
 	Limits guard.Limits
 }
@@ -53,20 +60,25 @@ type engineVariant struct {
 	name string
 	mode engine.FixMode
 	par  int
+	row  bool // tuple-at-a-time oracle instead of the batched engine
 }
 
-// EngineDiff executes every corpus term under all four engine variants and
-// reports divergence as RC104 diagnostics. The error return is reserved
-// for setup failures and context cancellation.
+// EngineDiff executes every corpus term under all eight engine variants
+// and reports divergence as RC104 diagnostics. The error return is
+// reserved for setup failures and context cancellation.
 func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions) ([]Diagnostic, error) {
 	opt = opt.withDefaults()
 	inst := Generate(cat, opt.Seed, opt.RowsPerRelation)
 	corpus := Corpus(cat, inst, opt.Seed)
 	variants := []engineVariant{
-		{"naive/serial", engine.Naive, 1},
-		{"semi-naive/serial", engine.SemiNaive, 1},
-		{"naive/parallel", engine.Naive, opt.Parallelism},
-		{"semi-naive/parallel", engine.SemiNaive, opt.Parallelism},
+		{"batch/naive/serial", engine.Naive, 1, false},
+		{"batch/semi-naive/serial", engine.SemiNaive, 1, false},
+		{"batch/naive/parallel", engine.Naive, opt.Parallelism, false},
+		{"batch/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, false},
+		{"row/naive/serial", engine.Naive, 1, true},
+		{"row/semi-naive/serial", engine.SemiNaive, 1, true},
+		{"row/naive/parallel", engine.Naive, opt.Parallelism, true},
+		{"row/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, true},
 	}
 	dbs := make([]*engine.DB, len(variants))
 	for i, v := range variants {
@@ -76,6 +88,8 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 		}
 		db.Mode = v.mode
 		db.Parallelism = v.par
+		db.RowEngine = v.row
+		db.BatchSize = opt.BatchSize
 		dbs[i] = db
 	}
 
@@ -86,6 +100,16 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 			Msg: fmt.Sprintf("seed-%d database: %s and %s diverge on %s: %s",
 				opt.Seed, a.name, b.name, lera.Format(q.Term), detail)})
 	}
+	// Bit-exact pairs: same engine and mode, serial vs parallel (parallel
+	// determinism), and same mode serial, batch vs row (engine oracle
+	// identity). Exactness composes: together these pin all eight
+	// variants' successful outputs to the serial row oracle's, up to the
+	// fixpoint-mode multiset tolerance.
+	exactPairs := [][2]int{
+		{0, 2}, {1, 3}, // batch: serial vs parallel
+		{4, 6}, {5, 7}, // row: serial vs parallel
+		{0, 4}, {1, 5}, // serial: batch vs row
+	}
 	for _, q := range corpus {
 		if err := ctx.Err(); err != nil {
 			return ds, err
@@ -95,10 +119,10 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 		for i := range variants {
 			rels[i], errs[i] = evalPhase(ctx, dbs[i], opt.Limits, q.Term)
 		}
-		// Same-mode serial vs parallel: success parity (the cumulative row
+		// Success parity holds across every exact pair: the cumulative row
 		// account is order-independent, so a budget trips under the pool
-		// iff it trips serially) and bit-identical rows, order included.
-		for _, pair := range [][2]int{{0, 2}, {1, 3}} {
+		// (or in batches) iff it trips in the serial row loop.
+		for _, pair := range exactPairs {
 			a, b := pair[0], pair[1]
 			if (errs[a] == nil) != (errs[b] == nil) {
 				report(q, variants[a], variants[b], fmt.Sprintf("%v vs %v", errs[a], errs[b]))

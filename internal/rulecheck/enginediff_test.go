@@ -9,9 +9,10 @@ import (
 )
 
 // TestEngineModesAgree is the random-corpus differential gate: on several
-// seeded databases, naive, semi-naive and parallel evaluation must agree
-// on every generated term — as multisets across modes, bit-for-bit
-// between a mode's serial and parallel runs.
+// seeded databases, all eight engine variants (batch/row × naive/semi-
+// naive × serial/parallel) must agree on every generated term — as
+// multisets across fixpoint modes, bit-for-bit between serial/parallel
+// runs and between the batched engine and the row oracle.
 func TestEngineModesAgree(t *testing.T) {
 	cat, err := testdb.Catalog()
 	if err != nil {
@@ -51,5 +52,30 @@ func TestEngineModesAgreeUnderLimits(t *testing.T) {
 	}
 	for _, d := range ds {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestEngineAgreesAcrossBatchSizes re-runs the gate at degenerate and
+// large batch granularities: batch size must never change any output —
+// size 1 degenerates to per-row batches, 2 exercises every partial-batch
+// boundary, 1024 covers whole-input batches on this corpus.
+func TestEngineAgreesAcrossBatchSizes(t *testing.T) {
+	cat, err := testdb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 2, 1024} {
+		ds, err := EngineDiff(context.Background(), cat, EngineDiffOptions{
+			Seed:            11,
+			RowsPerRelation: 5,
+			Parallelism:     4,
+			BatchSize:       bs,
+		})
+		if err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		for _, d := range ds {
+			t.Errorf("batch size %d: %s", bs, d)
+		}
 	}
 }

@@ -66,6 +66,12 @@ type Config struct {
 	// Parallelism is each pooled session's intra-query worker pool size
 	// (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// RowEngine selects the tuple-at-a-time execution oracle instead of
+	// the default batched engine (bit-identical responses; docs/PERF.md).
+	RowEngine bool
+	// BatchSize is the batched engine's rows-per-batch granularity
+	// (0 = engine default). Responses never depend on it.
+	BatchSize int
 	// PlanCache, when > 0, arms a plan cache of that many entries,
 	// shared read-mostly by every pooled session (core.WithPlanCache;
 	// docs/PLANCACHE.md). Repeated query shapes then skip the rewriter,
@@ -179,6 +185,9 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, core.WithRules(cfg.Rules))
 	}
 	opts = append(opts, core.WithInjector(inj))
+	if cfg.RowEngine {
+		opts = append(opts, core.WithRowEngine())
+	}
 	if cfg.PlanCache > 0 {
 		opts = append(opts, core.WithPlanCache(cfg.PlanCache))
 		if cfg.PlanCacheValidation > 0 {
@@ -188,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 	base := core.NewSession(opts...)
 	base.Obs = ob
 	base.Parallelism = cfg.Parallelism
+	base.BatchSize = cfg.BatchSize
 	if cfg.LoadFilms {
 		if err := loadFilms(base); err != nil {
 			return nil, fmt.Errorf("server: loading example database: %w", err)

@@ -301,6 +301,11 @@ func (v Value) Hash() uint64 {
 		if f == 0 {
 			f = 0 // fold -0.0 into +0.0, which Compare treats as equal
 		}
+		if math.IsNaN(f) {
+			// Canonicalize NaN payloads: Key renders every NaN as "NaN",
+			// so hashed keys must collapse them the same way.
+			f = math.NaN()
+		}
 		return HashUint(HashString(h, "f"), math.Float64bits(f))
 	}
 	h = HashUint(h, uint64(v.K))
