@@ -49,8 +49,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
-	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -60,6 +60,8 @@ import (
 
 	"lera"
 	"lera/internal/engine"
+	"lera/internal/obs"
+	"lera/internal/provenance"
 	"lera/internal/rules"
 	"lera/internal/value"
 )
@@ -173,8 +175,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrunner: -metrics-addr:", err)
 			os.Exit(1)
 		}
+		obs.RegisterBuildInfo(obsv.Metrics, provenance.Commit(), provenance.GoVersion())
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obsv.Metrics.Handler())
+		// pprof rides on the opt-in metrics listener: profiling a long
+		// benchmark run needs no extra flag, and a run without
+		// -metrics-addr exposes nothing (docs/OBSERVABILITY.md).
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
@@ -277,7 +288,7 @@ func emitJSON() {
 		RuleFingerprint string        `json:"ruleFingerprint"`
 		Experiments     []*experiment `json:"experiments"`
 	}{
-		Commit:          gitCommit(),
+		Commit:          provenance.Commit(),
 		RuleFingerprint: ruleFingerprint(),
 		Experiments:     rec.experiments,
 	}
@@ -287,15 +298,6 @@ func emitJSON() {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
-}
-
-// gitCommit resolves the repository HEAD, "unknown" outside a checkout.
-func gitCommit() string {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
 }
 
 // ruleFingerprint hashes the parsed built-in rule base, so two runs are

@@ -11,6 +11,8 @@
 //	\tables          list relations and views
 //	\check           verify the rule base (lint + differential testing)
 //	\cache [clear]   plan-cache statistics / empty the cache (docs/PLANCACHE.md)
+//	\slowlog [N]     show the last N slow-query captures (default all;
+//	                 full EXPLAIN ANALYZE trees, docs/OBSERVABILITY.md)
 //	\set parallelism N  size the intra-query worker pool (0 = all cores, 1 = serial)
 //	\help            this text
 //
@@ -27,6 +29,9 @@
 //	                 results are bit-identical either way (docs/PERF.md)
 //	--batch-size N   rows per batch for the batched engine (0 = default;
 //	                 results never depend on it)
+//	--slow-threshold D  slow-query capture latency bound for \slowlog
+//	                 (0 = default 500ms; degraded/failed queries are
+//	                 captured regardless)
 //
 // When a budget interrupts the rewriter, the shell still answers the
 // query from the fallback plan and prints a one-line degradation notice.
@@ -38,7 +43,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"lera"
 	"lera/internal/esql"
@@ -55,6 +62,7 @@ func main() {
 	planCacheVal := flag.Int("plan-cache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
 	engineName := flag.String("engine", "batch", "execution engine: batch or row (bit-identical results, docs/PERF.md)")
 	batchSize := flag.Int("batch-size", 0, "rows per batch for the batched engine (0 = default; results never depend on it)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "slow-query capture latency threshold for \\slowlog (0 = default 500ms)")
 	flag.Parse()
 
 	var opts []lera.Option
@@ -81,6 +89,11 @@ func main() {
 	s.Parallelism = *parallelism
 	s.BatchSize = *batchSize
 	s.Obs = lera.NewObserver()
+	// Stats collection stays on so \slowlog entries retain the full
+	// EXPLAIN ANALYZE operator tree (rendered output is unchanged:
+	// OpStats only print through EXPLAIN ANALYZE and \slowlog).
+	s.DB.CollectStats = true
+	slowRing = lera.NewSlowLog(64, *slowThreshold)
 	showPlan := true
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -119,6 +132,10 @@ func main() {
 // lastCache remembers the cache outcome of the most recently executed
 // query so \metrics can report it alongside the Prometheus counters.
 var lastCache *lera.PlanCacheOutcome
+
+// slowRing is the shell's always-on slow-query capture ring (\slowlog):
+// sized at startup, threshold from --slow-threshold.
+var slowRing *lera.SlowLog
 
 // cacheLine renders a one-line cache outcome for a query.
 func cacheLine(oc *lera.PlanCacheOutcome) string {
@@ -192,6 +209,24 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		fmt.Printf("plan cache: %d/%d entries\n", st.Entries, st.Capacity)
 		fmt.Printf("  hits=%d misses=%d evictions=%d invalidations=%d\n", st.Hits, st.Misses, st.Evictions, st.Invalidations)
 		fmt.Printf("  rejected_templates=%d validation_failures=%d\n", st.Rejections, st.ValidationFailures)
+	case "\\slowlog":
+		entries := slowRing.Snapshot()
+		limit := len(entries)
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Println("usage: \\slowlog [N]")
+				break
+			}
+			if n < limit {
+				limit = n
+			}
+		}
+		fmt.Printf("slow-query ring: %d/%d retained (threshold %s, %d captured, %d evicted)\n",
+			len(entries), slowRing.Size(), slowRing.Threshold, slowRing.Captured(), slowRing.Evicted())
+		for _, e := range entries[:limit] {
+			fmt.Println(lera.FormatSlowEntry(e))
+		}
 	case "\\set":
 		if len(fields) == 3 && fields[1] == "parallelism" {
 			n := 0
@@ -206,7 +241,7 @@ func meta(s *lera.Session, showPlan *bool, cmd string) bool {
 		}
 		fmt.Println("parallelism:", s.Parallelism, "(0 = all cores, 1 = serial)")
 	case "\\help":
-		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check \\cache [clear] \\set parallelism N")
+		fmt.Println("statements end with ';'. Meta: \\q \\rewrite on|off \\plan on|off \\trace on|off \\metrics \\counters \\films \\tables \\check \\cache [clear] \\slowlog [N] \\set parallelism N")
 	default:
 		fmt.Println("unknown meta-command (try \\help)")
 	}
@@ -242,12 +277,15 @@ func check(s *lera.Session) {
 }
 
 func run(s *lera.Session, showPlan bool, src string) {
+	t0 := time.Now()
 	results, err := s.Exec(src)
+	elapsed := time.Since(t0)
 	if err != nil {
 		// The bracketed code is the same stable vocabulary the server's
 		// protocols speak (guard.CodeOf, docs/SERVER.md).
 		fmt.Printf("error [%s]: %v\n", guard.CodeOf(err), err)
 	}
+	capture(src, elapsed, results, err)
 	for _, r := range results {
 		if r.Kind == lera.ResultRows && showPlan {
 			fmt.Println("translated:", lera.Format(r.Initial))
@@ -266,13 +304,72 @@ func run(s *lera.Session, showPlan bool, src string) {
 			if code == "" {
 				code = string(guard.CodeInternal)
 			}
-			fmt.Printf("notice: rewrite degraded [%s], answered from fallback plan — %s\n", code, st.DegradationReason)
+			fmt.Printf("notice: rewrite degraded [%s], answered from fallback plan — %s (budget: %s)\n",
+				code, st.DegradationReason, r.Budget)
 		}
 		if r.Kind == lera.ResultRows && r.Report != nil && r.Report.Trace != nil {
 			fmt.Print("trace:\n", lera.FormatTrace(r.Report.Trace, true))
 		}
 		fmt.Println(lera.FormatResult(r))
 	}
+}
+
+// capture feeds the shell's slow-query ring after one run() chunk: every
+// degraded or failed query is retained, and when the whole chunk crossed
+// the latency threshold the last row-producing result is retained with
+// its report (the shell times chunks, not statements, so attribution is
+// per ';'-terminated input).
+func capture(src string, elapsed time.Duration, results []*lera.Result, err error) {
+	if slowRing == nil {
+		return
+	}
+	query := strings.TrimSpace(src)
+	code := string(guard.CodeOK)
+	if err != nil {
+		code = string(guard.CodeOf(err))
+	}
+	var last *lera.Result
+	for _, r := range results {
+		if r.Kind != lera.ResultRows {
+			continue
+		}
+		last = r
+		if st := r.RewriteStats(); st.Degraded {
+			slowRing.Add(entryFor(query, code, elapsed, r, err))
+		}
+	}
+	switch {
+	case err != nil:
+		slowRing.Add(entryFor(query, code, elapsed, last, err))
+	case last != nil && !last.RewriteStats().Degraded && slowRing.ShouldCapture(elapsed, false, code):
+		slowRing.Add(entryFor(query, code, elapsed, last, nil))
+	}
+}
+
+func entryFor(query, code string, elapsed time.Duration, r *lera.Result, err error) lera.SlowEntry {
+	e := lera.SlowEntry{
+		Time:    time.Now(),
+		Query:   query,
+		Code:    code,
+		Elapsed: elapsed,
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	if r == nil {
+		return e
+	}
+	e.Rows = int64(len(r.Rows))
+	e.Budget = r.Budget
+	e.Report = r.Report
+	if st := r.RewriteStats(); st.Degraded {
+		e.Degraded = true
+		e.Reason = st.DegradationReason
+	}
+	if r.Cache != nil {
+		e.TemplateHash = fmt.Sprintf("%016x", r.Cache.TemplateHash)
+	}
+	return e
 }
 
 func loadFilms(s *lera.Session) error {

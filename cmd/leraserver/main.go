@@ -6,101 +6,154 @@
 //
 //	leraserver -addr :7457 -films -tenants tenants.json
 //	leraserver -addr :7457 -films -chaos 'server.request:stall:every=10:stall=5ms'
+//	leraserver -addr :7457 -films -query-log queries.jsonl -slow-threshold 250ms
 //
 // Endpoints: POST/GET /query, GET /metrics (Prometheus text), GET
-// /healthz (503 while draining). The line protocol speaks lowercase
-// verbs: tenant, query, ping, quit.
+// /healthz (503 while draining), GET /debug/slowlog (the slow-query
+// capture ring; docs/OBSERVABILITY.md). The line protocol speaks
+// lowercase verbs: tenant, query, ping, quit. With -pprof-addr a
+// net/http/pprof server runs on a separate listener (off by default —
+// profiling endpoints never share the query port).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lera/internal/obs"
+	"lera/internal/provenance"
 	"lera/internal/server"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	addr         string
+	films        bool
+	initFile     string
+	rulesFile    string
+	tenantsFile  string
+	chaosSpec    string
+	maxInFlight  int
+	maxQueue     int
+	drainTimeout time.Duration
+	drainGrace   time.Duration
+	parallelism  int
+	planCache    int
+	planCacheVal int
+	rowEngine    bool
+	batchSize    int
+
+	queryLog       string
+	queryLogSample int
+	queryLogBuffer int
+	slowlogSize    int
+	slowThreshold  time.Duration
+	pprofAddr      string
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:7457", "listen address for both protocols")
-		films        = flag.Bool("films", false, "load the paper's Figure 2-5 example database")
-		initFile     = flag.String("init", "", "ESQL file executed at boot (DDL, views, INSERTs)")
-		rulesFile    = flag.String("rules", "", "extra rule-language source merged into the rule base")
-		tenantsFile  = flag.String("tenants", "", "tenant-config JSON file (per-tenant guard budgets)")
-		chaosSpec    = flag.String("chaos", "", "chaos spec, e.g. 'member:error:every=7,server.request:stall:every=5:stall=20ms'")
-		maxInFlight  = flag.Int("max-inflight", 8, "max concurrently executing queries (= session-pool size)")
-		maxQueue     = flag.Int("max-queue", 0, "max queries waiting for a slot (0 = 2*max-inflight, negative = none)")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait before cancelling in-flight work")
-		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "post-cancel wait for cancellations to land")
-		parallelism  = flag.Int("parallelism", 1, "intra-query parallelism per session (0 = GOMAXPROCS)")
-		planCache    = flag.Int("plancache", 0, "plan-cache entries shared by the session pool (0 = off)")
-		planCacheVal = flag.Int("plancache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
-		engineName   = flag.String("engine", "batch", "execution engine: batch or row (bit-identical responses, docs/PERF.md)")
-		batchSize    = flag.Int("batch-size", 0, "rows per batch for the batched engine (0 = default; responses never depend on it)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7457", "listen address for both protocols")
+	flag.BoolVar(&o.films, "films", false, "load the paper's Figure 2-5 example database")
+	flag.StringVar(&o.initFile, "init", "", "ESQL file executed at boot (DDL, views, INSERTs)")
+	flag.StringVar(&o.rulesFile, "rules", "", "extra rule-language source merged into the rule base")
+	flag.StringVar(&o.tenantsFile, "tenants", "", "tenant-config JSON file (per-tenant guard budgets)")
+	flag.StringVar(&o.chaosSpec, "chaos", "", "chaos spec, e.g. 'member:error:every=7,server.request:stall:every=5:stall=20ms'")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 8, "max concurrently executing queries (= session-pool size)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "max queries waiting for a slot (0 = 2*max-inflight, negative = none)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-drain wait before cancelling in-flight work")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 2*time.Second, "post-cancel wait for cancellations to land")
+	flag.IntVar(&o.parallelism, "parallelism", 1, "intra-query parallelism per session (0 = GOMAXPROCS)")
+	flag.IntVar(&o.planCache, "plancache", 0, "plan-cache entries shared by the session pool (0 = off)")
+	flag.IntVar(&o.planCacheVal, "plancache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
+	engineName := flag.String("engine", "batch", "execution engine: batch or row (bit-identical responses, docs/PERF.md)")
+	flag.IntVar(&o.batchSize, "batch-size", 0, "rows per batch for the batched engine (0 = default; responses never depend on it)")
+	flag.StringVar(&o.queryLog, "query-log", "", "structured query log: JSON-lines file, one wide event per request ('-' = stderr)")
+	flag.IntVar(&o.queryLogSample, "query-log-sample", 1, "keep 1 in N query-log events (1 = all; skipped events are counted)")
+	flag.IntVar(&o.queryLogBuffer, "query-log-buffer", 0, "query-log channel capacity (0 = default; overflow drops are counted)")
+	flag.IntVar(&o.slowlogSize, "slowlog", 0, "slow-query ring capacity (0 = default 64, negative = disabled)")
+	flag.DurationVar(&o.slowThreshold, "slow-threshold", 0, "slow-query capture latency threshold (0 = default 500ms)")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 	if *engineName != "batch" && *engineName != "row" {
 		fmt.Fprintf(os.Stderr, "leraserver: unknown -engine %q (want batch or row)\n", *engineName)
 		os.Exit(2)
 	}
-	if *batchSize < 0 {
+	o.rowEngine = *engineName == "row"
+	if o.batchSize < 0 {
 		fmt.Fprintln(os.Stderr, "leraserver: -batch-size must be >= 0")
 		os.Exit(2)
 	}
-	if err := run(*addr, *films, *initFile, *rulesFile, *tenantsFile, *chaosSpec,
-		*maxInFlight, *maxQueue, *drainTimeout, *drainGrace, *parallelism, *planCache, *planCacheVal,
-		*engineName == "row", *batchSize); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "leraserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec string,
-	maxInFlight, maxQueue int, drainTimeout, drainGrace time.Duration, parallelism, planCache, planCacheVal int,
-	rowEngine bool, batchSize int) error {
+func run(o options) error {
+	ob := obs.NewObserver()
+	obs.RegisterBuildInfo(ob.Metrics, provenance.Commit(), provenance.GoVersion())
 	cfg := server.Config{
-		LoadFilms:           films,
-		MaxInFlight:         maxInFlight,
-		MaxQueue:            maxQueue,
-		DrainTimeout:        drainTimeout,
-		DrainGrace:          drainGrace,
-		Parallelism:         parallelism,
-		PlanCache:           planCache,
-		PlanCacheValidation: planCacheVal,
-		RowEngine:           rowEngine,
-		BatchSize:           batchSize,
+		LoadFilms:           o.films,
+		MaxInFlight:         o.maxInFlight,
+		MaxQueue:            o.maxQueue,
+		DrainTimeout:        o.drainTimeout,
+		DrainGrace:          o.drainGrace,
+		Parallelism:         o.parallelism,
+		PlanCache:           o.planCache,
+		PlanCacheValidation: o.planCacheVal,
+		RowEngine:           o.rowEngine,
+		BatchSize:           o.batchSize,
+		Observer:            ob,
 		ErrorLog:            os.Stderr,
+		SlowLogSize:         o.slowlogSize,
+		SlowThreshold:       o.slowThreshold,
 	}
-	if planCache > 0 {
-		fmt.Fprintf(os.Stderr, "leraserver: plan cache armed (%d entries)\n", planCache)
+	if o.planCache > 0 {
+		fmt.Fprintf(os.Stderr, "leraserver: plan cache armed (%d entries)\n", o.planCache)
 	}
-	if initFile != "" {
-		src, err := os.ReadFile(initFile)
+	if o.queryLog != "" {
+		sink := &obs.WriterSink{W: os.Stderr}
+		if o.queryLog != "-" {
+			f, err := os.Create(o.queryLog)
+			if err != nil {
+				return fmt.Errorf("opening query log: %w", err)
+			}
+			sink = &obs.WriterSink{W: f, CloseW: f}
+		}
+		cfg.QueryLog = obs.NewQueryLog(sink, o.queryLogBuffer, o.queryLogSample)
+		fmt.Fprintf(os.Stderr, "leraserver: query log on (%s, sample 1/%d)\n", o.queryLog, max(o.queryLogSample, 1))
+	}
+	if o.initFile != "" {
+		src, err := os.ReadFile(o.initFile)
 		if err != nil {
 			return err
 		}
 		cfg.InitESQL = string(src)
 	}
-	if rulesFile != "" {
-		src, err := os.ReadFile(rulesFile)
+	if o.rulesFile != "" {
+		src, err := os.ReadFile(o.rulesFile)
 		if err != nil {
 			return err
 		}
 		cfg.Rules = string(src)
 	}
-	if tenantsFile != "" {
-		t, err := server.LoadTenants(tenantsFile)
+	if o.tenantsFile != "" {
+		t, err := server.LoadTenants(o.tenantsFile)
 		if err != nil {
 			return err
 		}
 		cfg.Tenants = t
 	}
-	if chaosSpec != "" {
-		faults, err := server.ParseChaos(chaosSpec)
+	if o.chaosSpec != "" {
+		faults, err := server.ParseChaos(o.chaosSpec)
 		if err != nil {
 			return err
 		}
@@ -116,25 +169,37 @@ func run(addr string, films bool, initFile, rulesFile, tenantsFile, chaosSpec st
 		fmt.Fprintf(os.Stderr, "leraserver: tenants %v\n", cfg.Tenants.Names())
 	}
 
+	if o.pprofAddr != "" {
+		// pprof on its own listener, never the query port: the blank
+		// net/http/pprof import registered /debug/pprof on the default
+		// mux, so serving that mux here is the whole integration.
+		go func() {
+			fmt.Fprintf(os.Stderr, "leraserver: pprof on %s/debug/pprof\n", o.pprofAddr)
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "leraserver: pprof server:", err)
+			}
+		}()
+	}
+
 	// SIGTERM/SIGINT starts the graceful drain; a second signal is the
 	// operator insisting, so exit hard.
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
 		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "leraserver: %v — draining (timeout %v)\n", sig, drainTimeout)
+		fmt.Fprintf(os.Stderr, "leraserver: %v — draining (timeout %v)\n", sig, o.drainTimeout)
 		go func() {
 			<-sigCh
 			fmt.Fprintln(os.Stderr, "leraserver: second signal — exiting immediately")
 			os.Exit(2)
 		}()
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout+drainGrace+5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout+o.drainGrace+5*time.Second)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "leraserver: drain:", err)
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "leraserver: listening on %s (HTTP + line protocol)\n", addr)
-	return srv.ListenAndServe(addr)
+	fmt.Fprintf(os.Stderr, "leraserver: listening on %s (HTTP + line protocol)\n", o.addr)
+	return srv.ListenAndServe(o.addr)
 }

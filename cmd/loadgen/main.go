@@ -244,20 +244,30 @@ func audit(url string, rep *report, assertCache bool, minHitRate float64) error 
 	if err != nil {
 		return fmt.Errorf("metrics scrape: %w", err)
 	}
+	// Labeled series (name{k="v",...} value) are summed into their base
+	// name, so vals["lera_server_requests_total"] is the total over every
+	// {tenant,code} breakdown — the same ledger as before labels existed.
 	vals := map[string]int64{}
 	for _, line := range strings.Split(string(data), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 || sp == len(line)-1 {
 			return fmt.Errorf("metrics scrape: unparseable line %q", line)
 		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("metrics scrape: unparseable series %q", line)
+			}
+			name = name[:br]
+		}
 		var v float64
-		if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
 			return fmt.Errorf("metrics scrape: bad value in %q", line)
 		}
-		vals[fields[0]] = int64(v)
+		vals[name] += int64(v)
 	}
 	rep.ScrapeOK = true
 	rep.ServerSeen = vals["lera_server_requests_total"]

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lera/internal/engine"
+	"lera/internal/guard"
 	"lera/internal/obs"
 )
 
@@ -39,6 +40,9 @@ type QueryReport struct {
 	// ExecCounters is the engine work-counter delta for this query alone
 	// (the flat totals, present whenever the report is).
 	ExecCounters engine.Counters
+	// Budget mirrors Result.Budget so a retained report (the slow-query
+	// ring keeps reports after the Result is gone) stays self-contained.
+	Budget guard.Consumption
 }
 
 // Metric names (see docs/OBSERVABILITY.md for the full inventory).

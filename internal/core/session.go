@@ -227,6 +227,13 @@ type Result struct {
 	// store, invalidation, eviction count, template hash. Nil when the
 	// session has no plan cache (or the statement was not a SELECT).
 	Cache *plancache.Outcome
+
+	// Budget is the guard-budget consumption of this query: rows
+	// materialized and rewrite steps applied against their caps.
+	// Populated for every executed SELECT (it is a value snapshot of
+	// counters the engine keeps anyway, so the disabled-observability
+	// path pays nothing for it).
+	Budget guard.Consumption
 }
 
 // RewriteStats returns the rewrite statistics by value, with the zero
@@ -514,7 +521,15 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	rel, evalErr := s.DB.EvalCtx(execCtx, res.Rewritten)
 	rec.End(eSpan)
 	s.DB.CollectStats = savedCollect
+	rst := res.RewriteStats()
+	res.Budget = guard.Consumption{
+		RowsUsed:   s.DB.LastRowsCharged(),
+		RowsLimit:  int64(s.Limits.MaxRows),
+		StepsUsed:  int64(rst.Applications),
+		StepsLimit: int64(rst.StepsLimit),
+	}
 	if rep != nil {
+		rep.Budget = res.Budget
 		rep.Phases.Execute = time.Since(t0)
 		rep.ExecCounters = counterDelta(before, s.DB.Count)
 		if collect {

@@ -148,6 +148,10 @@ type DB struct {
 	idx       *indexSet  // persistent per-relation join indexes, shared across forks
 	g         *evalGuard // per-EvalCtx guard state (nil outside a call)
 	lastStats *OpStats   // stats tree of the last CollectStats run
+	// lastRowsCharged is the row-budget total of the last EvalCtx call,
+	// captured before the guard state is torn down so callers can report
+	// budget consumption even for queries that stayed under their cap.
+	lastRowsCharged int64
 }
 
 // evalGuard is the per-evaluation guard state: the cancellation context,
@@ -343,9 +347,17 @@ func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 			root.Duration = time.Since(start)
 		}(time.Now())
 	}
-	defer func() { db.g = prev }()
+	defer func() {
+		db.lastRowsCharged = int64(db.g.rows.Rows())
+		db.g = prev
+	}()
 	return db.eval(t, env{})
 }
+
+// LastRowsCharged reports the rows charged against the budget by the
+// most recent EvalCtx call — the shared Budget total, so parallel
+// workers are all accounted for.
+func (db *DB) LastRowsCharged() int64 { return db.lastRowsCharged }
 
 // eval dispatches one operator evaluation, wrapping it in a per-operator
 // stats frame when collection is on. The disabled path is the g.cur nil

@@ -93,6 +93,31 @@ func (b *Budget) ChargeRows(n, max int) error {
 // Rows returns the rows charged so far.
 func (b *Budget) Rows() int { return int(b.rows.Load()) }
 
+// Consumption is a per-query snapshot of budget use against its limits:
+// how many rows the engine materialized and how many rewrite steps the
+// rule engine applied, next to the caps that bounded them (0 = the cap
+// was unlimited). It rides on Result.Budget, the query-log event and
+// the slow-query ring so an operator can see how close a query came to
+// tripping — not just whether it tripped.
+type Consumption struct {
+	RowsUsed   int64 `json:"rows_used"`
+	RowsLimit  int64 `json:"rows_limit,omitempty"`
+	StepsUsed  int64 `json:"steps_used"`
+	StepsLimit int64 `json:"steps_limit,omitempty"`
+}
+
+// String renders the consumption compactly for notices: "rows 120/1000,
+// steps 4/500" with "∞" for unlimited caps.
+func (c Consumption) String() string {
+	lim := func(n int64) string {
+		if n <= 0 {
+			return "unlimited"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("rows %d/%s, steps %d/%s", c.RowsUsed, lim(c.RowsLimit), c.StepsUsed, lim(c.StepsLimit))
+}
+
 // CheckCtx translates context cancellation into the guard vocabulary: a
 // deadline expiry reports ErrDeadline (still matching
 // context.DeadlineExceeded via errors.Is), a plain cancellation passes

@@ -1,0 +1,14 @@
+package obs
+
+// RegisterBuildInfo exposes a lera_build_info{commit,go_version} gauge
+// pinned to 1 — the Prometheus idiom for joining build provenance onto
+// any other series. Call once per registry at process start; repeated
+// calls with the same values are idempotent. Nil-safe.
+func RegisterBuildInfo(reg *Registry, commit, goVersion string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVec("lera_build_info",
+		"build provenance: a constant 1 labeled by git commit and go version",
+		"commit", "go_version").With(commit, goVersion).Set(1)
+}

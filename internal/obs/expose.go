@@ -41,6 +41,27 @@ func (r *Registry) Snapshot() map[string]any {
 				Count: m.h.Count(), Sum: m.h.Sum(),
 				P50: m.h.Quantile(0.50), P95: m.h.Quantile(0.95), P99: m.h.Quantile(0.99),
 			}
+		case kindCounterVec:
+			series := map[string]int64{}
+			for _, s := range m.cv.vec.sortedSeries() {
+				series[labelString(m.cv.vec.labels, s.values)] = s.c.Value()
+			}
+			out[m.name] = series
+		case kindGaugeVec:
+			series := map[string]int64{}
+			for _, s := range m.gv.vec.sortedSeries() {
+				series[labelString(m.gv.vec.labels, s.values)] = s.g.Value()
+			}
+			out[m.name] = series
+		case kindHistogramVec:
+			series := map[string]HistogramSummary{}
+			for _, s := range m.hv.vec.sortedSeries() {
+				series[labelString(m.hv.vec.labels, s.values)] = HistogramSummary{
+					Count: s.h.Count(), Sum: s.h.Sum(),
+					P50: s.h.Quantile(0.50), P95: s.h.Quantile(0.95), P99: s.h.Quantile(0.99),
+				}
+			}
+			out[m.name] = series
 		}
 	}
 	return out
@@ -107,9 +128,70 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.name, count); err != nil {
 				return err
 			}
+		case kindCounterVec:
+			fmt.Fprintf(w, "# TYPE %s counter\n", m.name)
+			for _, s := range m.cv.vec.sortedSeries() {
+				ls := labelString(m.cv.vec.labels, s.values)
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, ls, s.c.Value()); err != nil {
+					return err
+				}
+			}
+		case kindGaugeVec:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", m.name)
+			for _, s := range m.gv.vec.sortedSeries() {
+				ls := labelString(m.gv.vec.labels, s.values)
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, ls, s.g.Value()); err != nil {
+					return err
+				}
+			}
+		case kindHistogramVec:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
+			labels := m.hv.vec.labels
+			for _, s := range m.hv.vec.sortedSeries() {
+				bounds, counts, count, sum := s.h.snapshot()
+				var cum uint64
+				for i, b := range bounds {
+					cum += counts[i]
+					// _bucket carries the series labels plus le, in
+					// that order, matching client_golang's rendering.
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name,
+						labelStringWith(labels, s.values, "le", formatFloat(b)), cum); err != nil {
+						return err
+					}
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelStringWith(labels, s.values, "le", "+Inf"), count)
+				fmt.Fprintf(w, "%s_sum%s %v\n", m.name, labelString(labels, s.values), sum)
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(labels, s.values), count); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// labelStringWith renders {k="v",...,extraK="extraV"} — the histogram
+// bucket form where le joins the series labels.
+func labelStringWith(labels, values []string, extraK, extraV string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	if len(labels) > 0 {
+		sb.WriteByte(',')
+	}
+	sb.WriteString(extraK)
+	sb.WriteString(`="`)
+	sb.WriteString(escapeLabelValue(extraV))
+	sb.WriteString(`"}`)
+	return sb.String()
 }
 
 // formatFloat renders a bucket bound the way Prometheus clients expect

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metrics: CounterVec, GaugeVec and HistogramVec — families of
+// child metrics keyed by a fixed label vector, the per-tenant /
+// per-code dimension the flat registry (metrics.go) cannot express.
+//
+// Design constraints, matching the rest of the package:
+//
+//  1. Bounded cardinality. A vector accepts at most maxSeries distinct
+//     label-value combinations (DefaultMaxSeries unless overridden with
+//     SetMaxSeries). Past the cap, new combinations collapse into an
+//     overflow series whose FIRST label value is OverflowLabel ("_other")
+//     — by convention the first label is the high-cardinality one
+//     (tenant), the rest a closed vocabulary (codes). Nothing is ever
+//     dropped: an overflowed observation still counts, so the sum over
+//     all series of a vector remains exact. Collapses are counted
+//     (Overflowed) so operators can see the cap is too small.
+//  2. Exact sums. Children are ordinary *Counter/*Gauge/*Histogram
+//     handles backed by atomics; With() is a read-locked map hit on the
+//     steady state, and callers on hot paths may cache the child handle.
+//  3. Prometheus-faithful exposition. Label values are escaped per the
+//     text exposition format (backslash, quote, newline), label names
+//     render in their declared order, and series render in sorted key
+//     order so scrapes are deterministic (expose.go).
+//  4. Nil is off. A nil vector returns nil children, and nil children
+//     no-op — the disabled path stays allocation-free.
+type labelVec struct {
+	mu     sync.RWMutex
+	name   string
+	labels []string
+	max    int
+	series map[string]*labelSeries
+	// overflowed counts label-value combinations collapsed into the
+	// _other overflow series because the vector was at capacity.
+	overflowed atomic.Int64
+}
+
+// labelSeries is one child of a vector: its escaped, render-ready label
+// values plus the child metric (exactly one of c/g/h is set, matching
+// the owning vector's kind).
+type labelSeries struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// DefaultMaxSeries bounds the label-set cardinality of one vector unless
+// SetMaxSeries raises it: high enough for a realistic tenant roster times
+// a closed code vocabulary, low enough that a tenant-name-per-request bug
+// cannot grow a scrape without bound.
+const DefaultMaxSeries = 256
+
+// OverflowLabel is the value substituted for the first (high-cardinality)
+// label of combinations created past the cardinality cap.
+const OverflowLabel = "_other"
+
+func newLabelVec(name string, labels []string) *labelVec {
+	if len(labels) == 0 {
+		panic("obs: labeled metric " + name + " needs at least one label")
+	}
+	return &labelVec{name: name, labels: append([]string(nil), labels...),
+		max: DefaultMaxSeries, series: map[string]*labelSeries{}}
+}
+
+// seriesKey joins label values into a map key. Values are joined with an
+// unlikely separator; the escaped render form is stored on the series.
+func seriesKey(values []string) string {
+	var sb strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// lookup returns the series for values, creating it under the cardinality
+// policy. make constructs the child metric for a fresh series.
+func (v *labelVec) lookup(values []string, make func() *labelSeries) *labelSeries {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label value(s), got %d", v.name, len(v.labels), len(values)))
+	}
+	key := seriesKey(values)
+	v.mu.RLock()
+	s, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return s
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.series[key]; ok {
+		return s
+	}
+	if len(v.series) >= v.max {
+		// At capacity: collapse the high-cardinality first label into the
+		// overflow series and count the collapse. The overflow series
+		// itself is created past the cap (its remaining labels come from
+		// closed vocabularies, so the set stays bounded).
+		if values[0] != OverflowLabel {
+			v.overflowed.Add(1)
+			over := append([]string(nil), values...)
+			over[0] = OverflowLabel
+			okey := seriesKey(over)
+			if s, ok := v.series[okey]; ok {
+				return s
+			}
+			s := make()
+			s.values = over
+			v.series[okey] = s
+			return s
+		}
+	}
+	s = make()
+	s.values = append([]string(nil), values...)
+	v.series[key] = s
+	return s
+}
+
+// setMax adjusts the cardinality cap (existing series are kept even if
+// they exceed a lowered cap; only new combinations overflow).
+func (v *labelVec) setMax(n int) {
+	if v == nil || n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.max = n
+	v.mu.Unlock()
+}
+
+// sortedSeries snapshots the series in deterministic (sorted-key) order
+// for exposition.
+func (v *labelVec) sortedSeries() []*labelSeries {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*labelSeries, len(keys))
+	for i, k := range keys {
+		out[i] = v.series[k]
+	}
+	v.mu.RUnlock()
+	return out
+}
+
+// CounterVec is a family of counters keyed by a label vector, e.g.
+// lera_server_requests_total{tenant,code}.
+type CounterVec struct {
+	vec *labelVec
+}
+
+// With returns the counter for the given label values (in declared label
+// order), creating it on first use under the cardinality policy. A nil
+// vector returns a nil (no-op) counter.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	return cv.vec.lookup(values, func() *labelSeries { return &labelSeries{c: &Counter{}} }).c
+}
+
+// SetMaxSeries adjusts the vector's cardinality cap (nil-safe).
+func (cv *CounterVec) SetMaxSeries(n int) {
+	if cv == nil {
+		return
+	}
+	cv.vec.setMax(n)
+}
+
+// Overflowed reports label-value combinations collapsed into the
+// overflow series.
+func (cv *CounterVec) Overflowed() int64 {
+	if cv == nil {
+		return 0
+	}
+	return cv.vec.overflowed.Load()
+}
+
+// Sum returns the total over every series of the vector — the exactness
+// witness against an unlabeled ledger.
+func (cv *CounterVec) Sum() int64 {
+	if cv == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range cv.vec.sortedSeries() {
+		total += s.c.Value()
+	}
+	return total
+}
+
+// GaugeVec is a family of gauges keyed by a label vector, e.g.
+// lera_build_info{commit,go_version}.
+type GaugeVec struct {
+	vec *labelVec
+}
+
+// With returns the gauge for the given label values (nil-safe).
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	return gv.vec.lookup(values, func() *labelSeries { return &labelSeries{g: &Gauge{}} }).g
+}
+
+// SetMaxSeries adjusts the vector's cardinality cap (nil-safe).
+func (gv *GaugeVec) SetMaxSeries(n int) {
+	if gv == nil {
+		return
+	}
+	gv.vec.setMax(n)
+}
+
+// HistogramVec is a family of histograms keyed by a label vector, e.g.
+// lera_server_request_seconds{tenant}. All children share one bucket
+// layout, so the per-label series merge cleanly on the scrape side.
+type HistogramVec struct {
+	vec    *labelVec
+	bounds []float64
+}
+
+// With returns the histogram for the given label values (nil-safe).
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	return hv.vec.lookup(values, func() *labelSeries { return &labelSeries{h: NewHistogram(hv.bounds)} }).h
+}
+
+// SetMaxSeries adjusts the vector's cardinality cap (nil-safe).
+func (hv *HistogramVec) SetMaxSeries(n int) {
+	if hv == nil {
+		return
+	}
+	hv.vec.setMax(n)
+}
+
+// Overflowed reports label-value combinations collapsed into the
+// overflow series.
+func (hv *HistogramVec) Overflowed() int64 {
+	if hv == nil {
+		return 0
+	}
+	return hv.vec.overflowed.Load()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// labelString renders a full {k="v",...} label set in declared label
+// order, values escaped.
+func labelString(labels, values []string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

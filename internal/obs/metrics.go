@@ -211,6 +211,9 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
 )
 
 // metric is one registered metric with its exposition metadata.
@@ -221,6 +224,9 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
+	hv   *HistogramVec
 }
 
 // Registry is a named collection of metrics. Get-or-create accessors are
@@ -307,6 +313,85 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	r.metrics[name] = m
 	r.order = append(r.order, name)
 	return m.h
+}
+
+// CounterVec returns the named labeled counter family, creating it on
+// first use with the given label names. Later calls must pass the same
+// labels (a mismatch panics, like a kind mismatch).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if m, ok := r.lookup(name, kindCounterVec); ok {
+		checkLabels(name, m.cv.vec.labels, labels)
+		return m.cv
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.cv
+	}
+	m := &metric{name: name, help: help, kind: kindCounterVec,
+		cv: &CounterVec{vec: newLabelVec(name, labels)}}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m.cv
+}
+
+// GaugeVec returns the named labeled gauge family, creating it on first
+// use with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if m, ok := r.lookup(name, kindGaugeVec); ok {
+		checkLabels(name, m.gv.vec.labels, labels)
+		return m.gv
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.gv
+	}
+	m := &metric{name: name, help: help, kind: kindGaugeVec,
+		gv: &GaugeVec{vec: newLabelVec(name, labels)}}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m.gv
+}
+
+// HistogramVec returns the named labeled histogram family, creating it
+// on first use with the given bucket bounds (nil = duration defaults)
+// and label names. Every child shares the bound layout.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if m, ok := r.lookup(name, kindHistogramVec); ok {
+		checkLabels(name, m.hv.vec.labels, labels)
+		return m.hv
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.hv
+	}
+	m := &metric{name: name, help: help, kind: kindHistogramVec,
+		hv: &HistogramVec{vec: newLabelVec(name, labels), bounds: bounds}}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m.hv
+}
+
+func checkLabels(name string, have, want []string) {
+	if len(have) != len(want) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+		}
+	}
 }
 
 // sorted returns the metrics in name order for deterministic exposition.

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memSink collects events in memory; Emit runs on the drainer goroutine
+// only, so a plain slice suffices (Close makes the result visible).
+type memSink struct {
+	mu     sync.Mutex
+	events []QueryEvent
+	closed bool
+}
+
+func (s *memSink) Emit(ev QueryEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *memSink) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+func TestQueryLogNilSafe(t *testing.T) {
+	var q *QueryLog
+	q.Record(QueryEvent{Code: "OK"})
+	q.SyncMetrics(NewRegistry())
+	if q.Emitted() != 0 || q.Dropped() != 0 || q.SampledOut() != 0 {
+		t.Fatal("nil QueryLog must report zeros")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewQueryLog(nil, 0, 1) != nil {
+		t.Fatal("nil sink must yield a nil (disabled) log")
+	}
+}
+
+func TestQueryLogDeliversAll(t *testing.T) {
+	sink := &memSink{}
+	q := NewQueryLog(sink, 16, 1)
+	const n = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				q.Record(QueryEvent{Tenant: "t", Code: "OK", Rows: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The invariant: every Record is accounted exactly once.
+	if got := q.Emitted() + q.Dropped() + q.SampledOut(); got != n {
+		t.Fatalf("emitted %d + dropped %d + sampledOut %d = %d, want %d",
+			q.Emitted(), q.Dropped(), q.SampledOut(), got, n)
+	}
+	if int64(len(sink.events)) != q.Emitted() {
+		t.Fatalf("sink saw %d events, log counted %d emitted", len(sink.events), q.Emitted())
+	}
+	if !sink.closed {
+		t.Fatal("Close must close the sink")
+	}
+}
+
+func TestQueryLogSampling(t *testing.T) {
+	sink := &memSink{}
+	q := NewQueryLog(sink, 64, 10)
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Record(QueryEvent{Code: "OK"})
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Emitted(); got != n/10 {
+		t.Fatalf("1-in-10 sampling emitted %d of %d, want %d", got, n, n/10)
+	}
+	if got := q.SampledOut(); got != n-n/10 {
+		t.Fatalf("SampledOut = %d, want %d", got, n-n/10)
+	}
+	if got := q.Emitted() + q.Dropped() + q.SampledOut(); got != n {
+		t.Fatalf("accounting sums to %d, want %d", got, n)
+	}
+}
+
+// blockSink stalls the drainer until released, forcing buffer overflow.
+type blockSink struct {
+	memSink
+	gate chan struct{}
+	once sync.Once
+}
+
+func (s *blockSink) Emit(ev QueryEvent) {
+	s.once.Do(func() { <-s.gate })
+	s.memSink.Emit(ev)
+}
+
+func TestQueryLogDropsCounted(t *testing.T) {
+	sink := &blockSink{gate: make(chan struct{})}
+	q := NewQueryLog(sink, 4, 1)
+	// One event enters the stalled drainer, four fill the buffer; the
+	// rest must be dropped, never block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			q.Record(QueryEvent{Code: "OK"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record blocked on a full buffer")
+	}
+	close(sink.gate)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Dropped() == 0 {
+		t.Fatal("overflow produced no counted drops")
+	}
+	if got := q.Emitted() + q.Dropped() + q.SampledOut(); got != 50 {
+		t.Fatalf("accounting sums to %d, want 50 (silent loss)", got)
+	}
+}
+
+func TestQueryLogRecordAfterClose(t *testing.T) {
+	q := NewQueryLog(&memSink{}, 4, 1)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q.Record(QueryEvent{Code: "OK"}) // must not panic (send on closed chan)
+	if got := q.Dropped(); got != 1 {
+		t.Fatalf("post-Close Record counted as %d drops, want 1", got)
+	}
+	if err := q.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestQueryLogSyncMetrics(t *testing.T) {
+	q := NewQueryLog(&memSink{}, 16, 2)
+	for i := 0; i < 10; i++ {
+		q.Record(QueryEvent{Code: "OK"})
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	q.SyncMetrics(r)
+	if got := r.Gauge(MetricQuerylogEvents, "").Value(); got != q.Emitted() {
+		t.Fatalf("%s = %d, want %d", MetricQuerylogEvents, got, q.Emitted())
+	}
+	if got := r.Gauge(MetricQuerylogSampledOut, "").Value(); got != q.SampledOut() {
+		t.Fatalf("%s = %d, want %d", MetricQuerylogSampledOut, got, q.SampledOut())
+	}
+}
+
+func TestWriterSinkJSONLines(t *testing.T) {
+	var sb strings.Builder
+	q := NewQueryLog(&WriterSink{W: &sb}, 16, 1)
+	q.Record(QueryEvent{Tenant: "acme", Code: "OK", Rows: 3, ElapsedNs: 1000})
+	q.Record(QueryEvent{Code: "PARSE", Error: "syntax"})
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		lines++
+		var ev QueryEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("sink wrote %d JSON lines, want 2", lines)
+	}
+	if !strings.Contains(sb.String(), `"tenant":"acme"`) {
+		t.Errorf("event missing tenant field:\n%s", sb.String())
+	}
+}

@@ -261,6 +261,10 @@ type Stats struct {
 	Applications    int // successful rewrites
 	Rounds          int // sequence iterations executed
 	BudgetExhausted bool
+	// StepsLimit echoes the MaxSteps cap the run was budgeted with
+	// (0 = unlimited), so consumers can report Applications against it
+	// without holding the Options that produced the run.
+	StepsLimit int
 
 	// Degraded records graceful degradation: the rewrite failed, panicked
 	// or exhausted a guard budget, and the session fell back to the best
@@ -368,7 +372,7 @@ func (e *Engine) RunCtx(ctx context.Context, q *term.Term) (*term.Term, *Stats, 
 	e.ctx = ctx
 	e.rec = obs.FromContext(ctx)
 	e.lastGood = q
-	st := &Stats{}
+	st := &Stats{StepsLimit: e.Opts.Limits.MaxSteps}
 	seq := e.RS.Sequence
 	if seq == nil {
 		blocks := e.RS.BlockOrder
@@ -411,7 +415,7 @@ func (e *Engine) RunBlockCtx(ctx context.Context, q *term.Term, blockName string
 	e.ctx = ctx
 	e.rec = obs.FromContext(ctx)
 	e.lastGood = q
-	st := &Stats{}
+	st := &Stats{StepsLimit: e.Opts.Limits.MaxSteps}
 	out, err := e.runBlock(q, b, st)
 	return out, st, err
 }

@@ -7,6 +7,7 @@ package server
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -64,6 +65,9 @@ func TestChaosEveryRequestTyped(t *testing.T) {
 		MaxInFlight: 2,
 		MaxQueue:    2,
 		Chaos:       chaos,
+		// Several tenants so the labeled request ledger is exercised
+		// across series, not just {default,*}.
+		Tenants: Tenants{"default": {}, "alpha": {}, "beta": {}},
 	})
 
 	queries := []string{
@@ -87,6 +91,7 @@ func TestChaosEveryRequestTyped(t *testing.T) {
 			defer wg.Done()
 			c := NewClient(base)
 			c.Retry.MaxAttempts = 1 // exact request accounting
+			c.Tenant = []string{"", "alpha", "beta", "unknown"}[w%4]
 			for i := 0; i < perWorker; i++ {
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 				out := c.Query(ctx, queries[(w+i)%len(queries)])
@@ -129,8 +134,11 @@ func TestChaosEveryRequestTyped(t *testing.T) {
 	}
 
 	// The server-side ledger covers every request: received = answered.
+	// requests_total is labeled {tenant,code}; the sum over every series
+	// must equal the unlabeled ok/error ledger exactly — the acceptance
+	// invariant of the per-tenant breakdown.
 	m := srv.Metrics()
-	requests := m.Counter("lera_server_requests_total", "").Value()
+	requests := m.CounterVec("lera_server_requests_total", "", "tenant", "code").Sum()
 	answered := m.Counter("lera_server_queries_ok_total", "").Value() +
 		m.Counter("lera_server_query_errors_total", "").Value()
 	if requests != int64(total) {
@@ -138,6 +146,20 @@ func TestChaosEveryRequestTyped(t *testing.T) {
 	}
 	if answered != requests {
 		t.Errorf("dropped-but-unreported requests: received %d, answered %d", requests, answered)
+	}
+	// The breakdown really is per tenant: each configured tenant owns at
+	// least one series (the unknown tenant collapsed into default).
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{`tenant="default"`, `tenant="alpha"`, `tenant="beta"`} {
+		if !strings.Contains(sb.String(), "lera_server_requests_total{"+tenant) {
+			t.Errorf("ledger missing a %s series", tenant)
+		}
+	}
+	if strings.Contains(sb.String(), `tenant="unknown"`) {
+		t.Error("unknown tenant leaked its own label series")
 	}
 	// The armed faults actually fired.
 	if srv.Injector().Calls(RequestHook) == 0 {

@@ -18,7 +18,13 @@ import (
 type metrics struct {
 	reg *obs.Registry
 
-	requests    *obs.Counter // every query received, any protocol
+	// requests is labeled {tenant, code}: the per-tenant breakdown of
+	// every finished query. It is incremented exactly once per request,
+	// in observe, so the sum over all series equals ok+errors exactly —
+	// the ledger invariant loadgen audits. Tenant cardinality is bounded
+	// upstream (Tenants.Resolve collapses unknown tenants to "default")
+	// and by the vector's own _other overflow cap.
+	requests    *obs.CounterVec
 	admitted    *obs.Counter // passed admission control
 	shed        *obs.Counter // refused with OVERLOADED
 	drainReject *obs.Counter // refused with DRAINING
@@ -34,13 +40,13 @@ type metrics struct {
 	sessions    *obs.Gauge // pooled sessions (constant after boot)
 	drainState  *obs.Gauge // 0 serving, 1 draining
 
-	latency *obs.Histogram // request wall-clock seconds (admitted or not)
+	latency *obs.HistogramVec // request wall-clock seconds by tenant
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
 		reg:         reg,
-		requests:    reg.Counter("lera_server_requests_total", "queries received over all protocols"),
+		requests:    reg.CounterVec("lera_server_requests_total", "queries finished, by tenant and protocol code", "tenant", "code"),
 		admitted:    reg.Counter("lera_server_admitted_total", "queries that passed admission control"),
 		shed:        reg.Counter("lera_server_shed_total", "queries shed with OVERLOADED at admission"),
 		drainReject: reg.Counter("lera_server_draining_rejected_total", "queries refused with DRAINING"),
@@ -54,7 +60,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		connections: reg.Gauge("lera_server_connections", "open client connections"),
 		sessions:    reg.Gauge("lera_server_sessions", "pooled sessions"),
 		drainState:  reg.Gauge("lera_server_draining", "1 while the server is draining"),
-		latency:     reg.Histogram("lera_server_request_seconds", "request wall-clock latency in seconds", nil),
+		latency:     reg.HistogramVec("lera_server_request_seconds", "request wall-clock latency in seconds, by tenant", nil, "tenant"),
 	}
 }
 
@@ -66,9 +72,10 @@ func (m *metrics) code(c guard.Code) {
 		"responses with code "+string(c)).Inc()
 }
 
-// observe records one finished request.
-func (m *metrics) observe(c guard.Code, degraded bool, d time.Duration) {
-	m.latency.Observe(d.Seconds())
+// observe records one finished request under its tenant.
+func (m *metrics) observe(tenant string, c guard.Code, degraded bool, d time.Duration) {
+	m.requests.With(tenant, string(c)).Inc()
+	m.latency.With(tenant).Observe(d.Seconds())
 	m.code(c)
 	if c == guard.CodeOK {
 		m.ok.Inc()

@@ -94,7 +94,24 @@ type Config struct {
 	// ErrorLog, when non-nil, receives one line per isolated panic and
 	// drain-phase event.
 	ErrorLog io.Writer
+
+	// QueryLog, when non-nil, receives one wide structured event per
+	// finished request — shed, failed and panicked requests included, so
+	// events are 1:1 with the request ledger (docs/OBSERVABILITY.md
+	// "Structured query log"). The server closes it on Drain.
+	QueryLog *obs.QueryLog
+
+	// SlowLogSize is the slow-query ring capacity. 0 takes the default
+	// (DefaultSlowLogSize); negative disables the ring.
+	SlowLogSize int
+	// SlowThreshold is the ring's capture latency bound
+	// (0 = core.DefaultSlowThreshold). Degraded and non-OK queries are
+	// captured regardless of latency.
+	SlowThreshold time.Duration
 }
+
+// DefaultSlowLogSize is the slow-query ring capacity unless configured.
+const DefaultSlowLogSize = 64
 
 // Response is the JSON answer to one query, and the single vocabulary
 // both protocols speak: Code is always set; OK responses carry columns
@@ -130,6 +147,8 @@ type Server struct {
 	m    *metrics
 	gate *guard.Gate
 	inj  *guard.Injector
+	qlog *obs.QueryLog
+	slow *core.SlowLog
 
 	base *core.Session
 	pool chan *core.Session
@@ -209,12 +228,18 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	slowSize := cfg.SlowLogSize
+	if slowSize == 0 {
+		slowSize = DefaultSlowLogSize
+	}
 	s := &Server{
 		cfg:     cfg,
 		obs:     ob,
 		m:       newMetrics(ob.Metrics),
 		gate:    guard.NewGate(cfg.MaxInFlight, cfg.MaxQueue),
 		inj:     inj,
+		qlog:    cfg.QueryLog,
+		slow:    core.NewSlowLog(slowSize, cfg.SlowThreshold),
 		base:    base,
 		pool:    make(chan *core.Session, cfg.MaxInFlight),
 		conns:   map[net.Conn]struct{}{},
@@ -226,14 +251,21 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: forking session pool: %w", err)
 		}
+		// The slow-query ring needs the full EXPLAIN ANALYZE operator
+		// tree for any query it captures — and capture is decided after
+		// the fact, so collection must be on for every pooled session.
+		// (Fork does not copy CollectStats; see also the replacement
+		// path in handleQuery.)
+		fork.DB.CollectStats = s.slow != nil
 		s.pool <- fork
 	}
 	s.m.sessions.Set(int64(cfg.MaxInFlight))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleHTTPQuery)
-	mux.Handle("/metrics", ob.Metrics.Handler())
+	mux.Handle("/metrics", s.metricsHandler(ob.Metrics))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	s.httpSrv = &http.Server{
 		Handler:     mux,
 		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
@@ -366,9 +398,13 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 // counted, and answered as INTERNAL.
 func (s *Server) handleQuery(ctx context.Context, tenant, query string) (resp Response) {
 	t0 := time.Now()
-	s.m.requests.Inc()
 	tenantName, limits := s.cfg.Tenants.Resolve(tenant)
 	resp.Tenant = tenantName
+
+	// res outlives the execution closure so the deferred diagnostics —
+	// the query-log event and the slow-query capture — can read the
+	// report, cache outcome and budget of the finished query.
+	var res *core.Result
 
 	defer func() {
 		if p := recover(); p != nil {
@@ -377,10 +413,14 @@ func (s *Server) handleQuery(ctx context.Context, tenant, query string) (resp Re
 			resp = Response{Code: string(guard.CodeInternal), Tenant: tenantName,
 				Error: fmt.Sprintf("internal panic (isolated): %v", p)}
 		}
-		resp.ElapsedNs = time.Since(t0).Nanoseconds()
-		s.m.observe(guard.Code(resp.Code), resp.Degraded, time.Since(t0))
+		elapsed := time.Since(t0)
+		resp.ElapsedNs = elapsed.Nanoseconds()
+		// The per-tenant request counter ticks here, once per finished
+		// request, so sum-over-series always equals ok+errors.
+		s.m.observe(tenantName, guard.Code(resp.Code), resp.Degraded, elapsed)
 		s.m.inFlight.Set(int64(s.gate.InFlight()))
 		s.m.queued.Set(int64(s.gate.Queued()))
+		s.recordDiagnostics(t0, elapsed, tenantName, query, resp, res)
 	}()
 
 	// Chaos hook: deterministic latency/error/panic injection at the
@@ -418,13 +458,14 @@ func (s *Server) handleQuery(ctx context.Context, tenant, query string) (resp Re
 			if ferr != nil {
 				s.logf("session replacement failed, recycling suspect session: %v", ferr)
 				fork = sess
+			} else {
+				fork.DB.CollectStats = s.slow != nil
 			}
 			s.pool <- fork
 		}
 	}()
 	sess.Limits = limits
 
-	var res *core.Result
 	err = func() (err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -619,9 +660,19 @@ func (s *Server) drain(ctx context.Context) {
 	s.m.connections.Set(0)
 	s.m.drainState.Set(0)
 
+	// Flush and close the query log first so its final accounting lands
+	// in the snapshot below (events already offered are drained to the
+	// sink; late stragglers count as drops, never disappear).
+	if s.qlog != nil {
+		if qerr := s.qlog.Close(); qerr != nil {
+			s.logf("query log close: %v", qerr)
+		}
+	}
+
 	// Flush the final metrics snapshot so a supervised process leaves a
 	// complete account even though /metrics just went away.
 	if s.cfg.ErrorLog != nil {
+		s.syncDiagnosticsMetrics(s.obs.Metrics)
 		fmt.Fprintln(s.cfg.ErrorLog, "# final metrics snapshot")
 		_ = s.obs.Metrics.WritePrometheus(s.cfg.ErrorLog)
 	}

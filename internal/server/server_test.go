@@ -281,11 +281,11 @@ func TestServerMetricsScrape(t *testing.T) {
 	}
 	text := string(data)
 	for _, want := range []string{
-		"lera_server_requests_total 5",
+		`lera_server_requests_total{tenant="default",code="OK"} 5`,
 		"lera_server_admitted_total 5",
 		"lera_server_queries_ok_total 5",
 		"lera_server_code_ok_total 5",
-		"lera_server_request_seconds_count 5",
+		`lera_server_request_seconds_count{tenant="default"} 5`,
 		"lera_server_sessions",
 		"lera_queries_total", // session metrics share the scrape
 	} {

@@ -21,6 +21,8 @@
 package lera
 
 import (
+	"time"
+
 	"lera/internal/catalog"
 	"lera/internal/core"
 	"lera/internal/engine"
@@ -272,6 +274,51 @@ type Counters = engine.Counters
 // NewObserver returns an observer with a fresh metrics registry and
 // tracing off.
 func NewObserver() *Observer { return obs.NewObserver() }
+
+// Consumption is the per-query guard-budget snapshot on Result.Budget:
+// rows materialized and rewrite steps applied against their caps.
+type Consumption = guard.Consumption
+
+// SlowLog is the fixed-size slow-query capture ring (docs/OBSERVABILITY.md
+// "Slow-query ring"): queries that crossed a latency threshold or ended
+// degraded/budget-tripped keep their full QueryReport for later reading.
+type SlowLog = core.SlowLog
+
+// SlowEntry is one captured slow query.
+type SlowEntry = core.SlowEntry
+
+// NewSlowLog builds a slow-query ring of the given capacity (<= 0
+// disables: returns nil, and a nil ring no-ops) and latency threshold
+// (0 = 500ms default).
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	return core.NewSlowLog(size, threshold)
+}
+
+// FormatSlowEntry renders one captured slow query the way EXPLAIN
+// ANALYZE renders a live one.
+func FormatSlowEntry(e SlowEntry) string { return core.FormatSlowEntry(e) }
+
+// QueryEvent is one wide structured query-log event (docs/OBSERVABILITY.md
+// "Structured query log").
+type QueryEvent = obs.QueryEvent
+
+// QueryLog fans query events into a bounded, sampled sink; NewQueryLog
+// and WriterSink build one (servers wire it with -query-log).
+type QueryLog = obs.QueryLog
+
+// WriterSink writes query-log events as JSON lines.
+type WriterSink = obs.WriterSink
+
+// NewQueryLog starts a query log draining into sink (see obs.NewQueryLog).
+func NewQueryLog(sink obs.Sink, buffer, sample int) *QueryLog {
+	return obs.NewQueryLog(sink, buffer, sample)
+}
+
+// RegisterBuildInfo exposes a lera_build_info{commit,go_version} gauge
+// on a registry.
+func RegisterBuildInfo(reg *MetricsRegistry, commit, goVersion string) {
+	obs.RegisterBuildInfo(reg, commit, goVersion)
+}
 
 // FormatTrace renders a span tree as an indented outline; withTimings
 // false yields a deterministic form suitable for regression comparison.
