@@ -132,6 +132,17 @@ var (
 	batchSize = 0
 )
 
+// maxMemBytes and spillDir are the -max-mem/-spill-dir flags, applied by
+// measure to every session. Like the engine and batch-size knobs they
+// may never change a counter table: spill-forced runs are bit-identical
+// to in-memory runs (docs/PERF.md, "Memory governor & spill"), so
+// running the whole suite at a tiny grant measures the cost of going out
+// of core on unchanged answers.
+var (
+	maxMemBytes int64 = 0
+	spillDir          = ""
+)
+
 // cacheOpts appends the -plancache option, when set, to a builder's
 // session options.
 func cacheOpts(opts []lera.Option) []lera.Option {
@@ -151,6 +162,8 @@ func main() {
 	cacheFlag := flag.Int("plancache", 0, "arm every workload session with a plan cache of this capacity (0 = uncached; E16 sizes its own)")
 	engineFlag := flag.String("engine", "batch", "execution engine for every measured query: batch or row (bit-identical tables, docs/PERF.md)")
 	batchFlag := flag.Int("batch-size", 0, "rows per batch for the batched engine (0 = default; tables never depend on it)")
+	maxMemFlag := flag.Int64("max-mem", 0, "per-operator memory grant in bytes for every measured query (0 = ungoverned; tables never depend on it)")
+	spillFlag := flag.String("spill-dir", "", "spill directory under -max-mem (empty = no spilling)")
 	flag.Parse()
 	rec.jsonMode = *asJSON
 	poolSize = *parFlag
@@ -168,6 +181,8 @@ func main() {
 		os.Exit(1)
 	}
 	batchSize = *batchFlag
+	maxMemBytes = *maxMemFlag
+	spillDir = *spillFlag
 	scrapeURL := ""
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -410,6 +425,8 @@ func measure(s *lera.Session, q string) (*lera.Result, engine.Counters, time.Dur
 	s.Parallelism = poolSize
 	s.DB.RowEngine = rowEngine
 	s.BatchSize = batchSize
+	s.Limits.MaxMemBytes = maxMemBytes
+	s.SpillDir = spillDir
 	if rec.jsonMode {
 		s.DB.CollectStats = true
 	}

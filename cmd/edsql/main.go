@@ -21,6 +21,13 @@
 //	--timeout D      per-phase wall-clock budget (e.g. 2s, 500ms)
 //	--max-steps N    cap on committed rule applications per query
 //	--max-rows N     cap on rows materialized during execution
+//	--max-mem N      per-operator memory grant in bytes; over-grant hash
+//	                 structures spill to --spill-dir (results unchanged,
+//	                 docs/PERF.md) or fail with MEM_BUDGET without one.
+//	                 Governed queries report the tracked peak as a
+//	                 "mem used/limit" clause in budget notices
+//	--spill-dir DIR  where governed operators spill; files are removed
+//	                 when each query finishes
 //	--parallelism N  intra-query worker pool size (0 = all cores, 1 = serial;
 //	                 results are bit-identical at every setting, see docs/PERF.md)
 //	--plan-cache N   arm a plan cache of N entries (docs/PLANCACHE.md);
@@ -57,6 +64,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-phase wall-clock budget for rewrite and execution (0 = none)")
 	maxSteps := flag.Int("max-steps", 0, "cap on committed rule applications per query (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "cap on rows materialized during execution (0 = none)")
+	maxMem := flag.Int64("max-mem", 0, "per-operator memory grant in bytes; over-grant operators spill to -spill-dir or fail (0 = none)")
+	spillDir := flag.String("spill-dir", "", "directory for spill files under -max-mem (empty = no spilling, fail with MEM_BUDGET)")
 	parallelism := flag.Int("parallelism", 0, "intra-query worker pool size (0 = all cores, 1 = serial)")
 	planCache := flag.Int("plan-cache", 0, "plan-cache entries (0 = off; see docs/PLANCACHE.md)")
 	planCacheVal := flag.Int("plan-cache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
@@ -85,7 +94,8 @@ func main() {
 		os.Exit(2)
 	}
 	s := lera.NewSession(opts...)
-	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows}
+	s.Limits = lera.Limits{Timeout: *timeout, MaxSteps: *maxSteps, MaxRows: *maxRows, MaxMemBytes: *maxMem}
+	s.SpillDir = *spillDir
 	s.Parallelism = *parallelism
 	s.BatchSize = *batchSize
 	s.Obs = lera.NewObserver()

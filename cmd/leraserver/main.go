@@ -49,6 +49,8 @@ type options struct {
 	planCacheVal int
 	rowEngine    bool
 	batchSize    int
+	maxMem       int64
+	spillDir     string
 
 	queryLog       string
 	queryLogSample int
@@ -75,6 +77,8 @@ func main() {
 	flag.IntVar(&o.planCacheVal, "plancache-validate", 0, "re-validate every n'th plan-cache hit against a cold rewrite (0 = off)")
 	engineName := flag.String("engine", "batch", "execution engine: batch or row (bit-identical responses, docs/PERF.md)")
 	flag.IntVar(&o.batchSize, "batch-size", 0, "rows per batch for the batched engine (0 = default; responses never depend on it)")
+	flag.Int64Var(&o.maxMem, "max-mem", 0, "per-operator memory grant in bytes for tenants without their own maxMemBytes (0 = ungoverned)")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for spill files when an operator outgrows its memory grant (empty = fail with MEM_BUDGET)")
 	flag.StringVar(&o.queryLog, "query-log", "", "structured query log: JSON-lines file, one wide event per request ('-' = stderr)")
 	flag.IntVar(&o.queryLogSample, "query-log-sample", 1, "keep 1 in N query-log events (1 = all; skipped events are counted)")
 	flag.IntVar(&o.queryLogBuffer, "query-log-buffer", 0, "query-log channel capacity (0 = default; overflow drops are counted)")
@@ -111,6 +115,8 @@ func run(o options) error {
 		PlanCacheValidation: o.planCacheVal,
 		RowEngine:           o.rowEngine,
 		BatchSize:           o.batchSize,
+		MaxMemBytes:         o.maxMem,
+		SpillDir:            o.spillDir,
 		Observer:            ob,
 		ErrorLog:            os.Stderr,
 		SlowLogSize:         o.slowlogSize,

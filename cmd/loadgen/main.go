@@ -23,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -244,34 +246,13 @@ func audit(url string, rep *report, assertCache bool, minHitRate float64) error 
 	if err != nil {
 		return fmt.Errorf("metrics scrape: %w", err)
 	}
-	// Labeled series (name{k="v",...} value) are summed into their base
-	// name, so vals["lera_server_requests_total"] is the total over every
-	// {tenant,code} breakdown — the same ledger as before labels existed.
-	vals := map[string]int64{}
-	for _, line := range strings.Split(string(data), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp <= 0 || sp == len(line)-1 {
-			return fmt.Errorf("metrics scrape: unparseable line %q", line)
-		}
-		name := line[:sp]
-		if br := strings.IndexByte(name, '{'); br >= 0 {
-			if !strings.HasSuffix(name, "}") {
-				return fmt.Errorf("metrics scrape: unparseable series %q", line)
-			}
-			name = name[:br]
-		}
-		var v float64
-		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
-			return fmt.Errorf("metrics scrape: bad value in %q", line)
-		}
-		vals[name] += int64(v)
+	vals, err := parseMetrics(string(data))
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
 	}
 	rep.ScrapeOK = true
-	rep.ServerSeen = vals["lera_server_requests_total"]
-	answered := vals["lera_server_queries_ok_total"] + vals["lera_server_query_errors_total"]
+	rep.ServerSeen = counterVal(vals, "lera_server_requests_total")
+	answered := counterVal(vals, "lera_server_queries_ok_total") + counterVal(vals, "lera_server_query_errors_total")
 	if answered != rep.ServerSeen {
 		return fmt.Errorf("server ledger unbalanced: %d requests, %d answered (dropped-but-unreported)",
 			rep.ServerSeen, answered)
@@ -280,13 +261,13 @@ func audit(url string, rep *report, assertCache bool, minHitRate float64) error 
 		fmt.Fprintln(os.Stderr, "loadgen: warning: no OK responses at all")
 	}
 
-	rep.CacheHits = vals["lera_plancache_hits_total"]
-	rep.CacheMisses = vals["lera_plancache_misses_total"]
+	rep.CacheHits = counterVal(vals, "lera_plancache_hits_total")
+	rep.CacheMisses = counterVal(vals, "lera_plancache_misses_total")
 	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
 		rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
 	}
 	if assertCache {
-		queries := vals["lera_queries_total"]
+		queries := counterVal(vals, "lera_queries_total")
 		if rep.CacheHits+rep.CacheMisses == 0 {
 			return fmt.Errorf("plan-cache audit: no hits or misses recorded (is the server running with -plancache?)")
 		}
@@ -299,6 +280,86 @@ func audit(url string, rep *report, assertCache bool, minHitRate float64) error 
 		}
 	}
 	return nil
+}
+
+// parseMetrics sums a Prometheus text exposition into base metric names:
+// every series of name{k="v",...} accumulates into vals[name], so
+// vals["lera_server_requests_total"] is the total over the {tenant,code}
+// breakdown — the same ledger as before labels existed. Label values are
+// scanned as the quoted strings they are (escapes honoured), so values
+// containing '}', '{', spaces or escaped quotes cannot derail the line
+// split; accumulation stays float64 — integer comparisons round at the
+// comparison site (counterVal), never per series.
+func parseMetrics(data string) (map[string]float64, error) {
+	vals := map[string]float64{}
+	for _, line := range strings.Split(data, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, err := splitSeries(line)
+		if err != nil {
+			return nil, err
+		}
+		// rest is "value" or "value timestamp"; only the value matters.
+		if f := strings.Fields(rest); len(f) > 0 {
+			rest = f[0]
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", line)
+		}
+		vals[name] += v
+	}
+	return vals, nil
+}
+
+// splitSeries splits one exposition line into its base metric name and
+// the text after the series (value and optional timestamp), scanning the
+// label block with quote and backslash awareness.
+func splitSeries(line string) (name, rest string, _ error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	if i == 0 || i == len(line) {
+		return "", "", fmt.Errorf("unparseable line %q", line)
+	}
+	name = line[:i]
+	if line[i] == '{' {
+		inQuote, escaped, closed := false, false, false
+		for i++; i < len(line); i++ {
+			c := line[i]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				closed = true
+			}
+			if closed {
+				i++
+				break
+			}
+		}
+		if !closed {
+			return "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+	}
+	rest = strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", "", fmt.Errorf("series without value in %q", line)
+	}
+	return name, rest, nil
+}
+
+// counterVal reads a summed counter as an integer, rounding once at the
+// comparison boundary (summing first keeps fractional series — float
+// counters, partial increments — from truncating to zero one by one).
+func counterVal(vals map[string]float64, name string) int64 {
+	return int64(math.Round(vals[name]))
 }
 
 // quantile reads the q-quantile from sorted data (nearest-rank).

@@ -1,0 +1,71 @@
+package main
+
+// Unit tests for the /metrics audit parser: exposition lines must
+// survive label values containing '}', '{', spaces and escaped quotes
+// (the query-log and chaos metrics carry query text in labels), and
+// fractional series must accumulate as floats, rounding only at the
+// comparison boundary.
+
+import "testing"
+
+func TestParseMetricsLabels(t *testing.T) {
+	data := `# HELP lera_server_requests_total requests
+# TYPE lera_server_requests_total counter
+lera_server_requests_total{tenant="default",code="OK"} 3
+lera_server_requests_total{tenant="free",code="ROW_BUDGET"} 2
+lera_server_requests_total{tenant="odd",query="SELECT x FROM t WHERE s = '}'"} 1
+lera_server_requests_total{tenant="odd2",query="a b { c } d"} 4
+lera_server_requests_total{tenant="esc",query="say \"hi\" and \\ on"} 5
+plain_total 7
+with_timestamp_total{a="b"} 2 1712345678901
+`
+	vals, err := parseMetrics(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterVal(vals, "lera_server_requests_total"); got != 15 {
+		t.Errorf("requests_total = %d, want 15 (labeled series summed)", got)
+	}
+	if got := counterVal(vals, "plain_total"); got != 7 {
+		t.Errorf("plain_total = %d, want 7", got)
+	}
+	if got := counterVal(vals, "with_timestamp_total"); got != 2 {
+		t.Errorf("with_timestamp_total = %d, want 2 (timestamp ignored)", got)
+	}
+}
+
+func TestParseMetricsFloatAccumulation(t *testing.T) {
+	// Each series is under 1.0; per-series int64 truncation would sum to
+	// 0. Proper float accumulation sums to 2.1, rounding to 2 once.
+	data := `frac_total{i="1"} 0.7
+frac_total{i="2"} 0.7
+frac_total{i="3"} 0.7
+sci_total 1.5e1
+`
+	vals, err := parseMetrics(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterVal(vals, "frac_total"); got != 2 {
+		t.Errorf("frac_total = %d, want 2 (rounded after summing)", got)
+	}
+	if v := vals["frac_total"]; v < 2.09 || v > 2.11 {
+		t.Errorf("frac_total raw = %v, want 2.1", v)
+	}
+	if got := counterVal(vals, "sci_total"); got != 15 {
+		t.Errorf("sci_total = %d, want 15 (scientific notation)", got)
+	}
+}
+
+func TestParseMetricsErrors(t *testing.T) {
+	for _, bad := range []string{
+		`name{a="unterminated} 3`,
+		`name{a="v"}`,
+		` 3`,
+		`name{a="v"} notanumber`,
+	} {
+		if _, err := parseMetrics(bad + "\n"); err == nil {
+			t.Errorf("parseMetrics(%q) = nil error, want failure", bad)
+		}
+	}
+}

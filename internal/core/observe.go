@@ -40,6 +40,11 @@ type QueryReport struct {
 	// ExecCounters is the engine work-counter delta for this query alone
 	// (the flat totals, present whenever the report is).
 	ExecCounters engine.Counters
+	// Spill is the out-of-core activity delta for this query alone: spill
+	// partition files written, bytes spilled, records read back. All zero
+	// unless the memory governor moved an operator out of core
+	// (docs/PERF.md, "Memory governor & spill").
+	Spill engine.SpillStats
 	// Budget mirrors Result.Budget so a retained report (the slow-query
 	// ring keeps reports after the Result is gone) stays self-contained.
 	Budget guard.Consumption
@@ -60,6 +65,10 @@ const (
 	mPredEvals     = "lera_exec_pred_evals_total"
 	mFixIters      = "lera_exec_fixpoint_iterations_total"
 	mRowsReturned  = "lera_rows_returned_total"
+	mSpillParts    = "lera_engine_spill_partitions_total"
+	mSpillBytes    = "lera_engine_spill_bytes_total"
+	mSpillReads    = "lera_engine_spill_reads_total"
+	mMemPeak       = "lera_engine_mem_peak_bytes"
 	mCatRelations  = "lera_catalog_relations"
 	mCatViews      = "lera_catalog_views"
 	mPlanHits      = "lera_plancache_hits_total"
@@ -159,6 +168,19 @@ func (s *Session) obsQueryDone(res *Result, execErr error) {
 		m.Counter(mEmitted, "Rows emitted by relational operators.").Add(int64(c.Emitted))
 		m.Counter(mPredEvals, "Qualification conjuncts evaluated against rows.").Add(int64(c.PredEvals))
 		m.Counter(mFixIters, "Fixpoint rounds executed.").Add(int64(c.FixIterations))
+		if sp := rep.Spill; sp.Partitions > 0 || sp.Bytes > 0 || sp.Reads > 0 {
+			m.Counter(mSpillParts, "Spill partition files written by the memory governor.").Add(sp.Partitions)
+			m.Counter(mSpillBytes, "Bytes written to spill files.").Add(sp.Bytes)
+			m.Counter(mSpillReads, "Spill records read back during out-of-core processing.").Add(sp.Reads)
+		}
+		if mp := rep.Budget.MemPeakBytes; mp > 0 {
+			// A gauge of the largest tracked-memory peak seen, so operators
+			// can tell how close governed queries run to their grant.
+			g := m.Gauge(mMemPeak, "High-water mark of engine tracked memory over observed queries.")
+			if mp > g.Value() {
+				g.Set(mp)
+			}
+		}
 		m.Histogram(hTransSeconds, "Translate wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Translate.Seconds())
 		m.Histogram(hRewSeconds, "Rewrite wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Rewrite.Seconds())
 		m.Histogram(hExecSeconds, "Execute wall time per query.", obs.DefaultDurationBuckets).Observe(rep.Phases.Execute.Seconds())
@@ -206,5 +228,15 @@ func counterDelta(before, after engine.Counters) engine.Counters {
 		Emitted:       after.Emitted - before.Emitted,
 		PredEvals:     after.PredEvals - before.PredEvals,
 		FixIterations: after.FixIterations - before.FixIterations,
+	}
+}
+
+// spillDelta returns the out-of-core activity between two SpillStats
+// snapshots.
+func spillDelta(before, after engine.SpillStats) engine.SpillStats {
+	return engine.SpillStats{
+		Partitions: after.Partitions - before.Partitions,
+		Bytes:      after.Bytes - before.Bytes,
+		Reads:      after.Reads - before.Reads,
 	}
 }

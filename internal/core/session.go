@@ -50,6 +50,13 @@ type Session struct {
 	// "Batched execution & relation indexes").
 	BatchSize int
 
+	// SpillDir is the directory the engine's memory governor spills
+	// over-grant operator state into (docs/PERF.md, "Memory governor &
+	// spill"). Empty disables spilling: a query whose operators exceed
+	// Limits.MaxMemBytes then fails with guard.ErrMemBudget (protocol
+	// code MEM_BUDGET). Results never depend on whether a query spilled.
+	SpillDir string
+
 	// Obs is the session's observability sink (see internal/obs and
 	// docs/OBSERVABILITY.md): nil disables the layer entirely; with an
 	// observer, pipeline metrics accumulate in Obs.Metrics and — when
@@ -156,6 +163,7 @@ func (s *Session) Fork() (*Session, error) {
 		Limits:        s.Limits,
 		Parallelism:   s.Parallelism,
 		BatchSize:     s.BatchSize,
+		SpillDir:      s.SpillDir,
 		Obs:           s.Obs,
 		Plans:         s.Plans,
 		validateEvery: s.validateEvery,
@@ -509,6 +517,7 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	s.DB.Limits = s.Limits
 	s.DB.Parallelism = s.Parallelism
 	s.DB.BatchSize = s.BatchSize
+	s.DB.SpillDir = s.SpillDir
 
 	collect := analyze || rec.Enabled() || s.DB.CollectStats
 	savedCollect := s.DB.CollectStats
@@ -516,6 +525,7 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 		s.DB.CollectStats = true
 	}
 	before := s.DB.Count
+	spillBefore := s.DB.Spill
 	eSpan := rec.Begin("execute")
 	t0 = time.Now()
 	rel, evalErr := s.DB.EvalCtx(execCtx, res.Rewritten)
@@ -523,15 +533,18 @@ func (s *Session) execSelect(ctx context.Context, sel *esql.Select, analyze bool
 	s.DB.CollectStats = savedCollect
 	rst := res.RewriteStats()
 	res.Budget = guard.Consumption{
-		RowsUsed:   s.DB.LastRowsCharged(),
-		RowsLimit:  int64(s.Limits.MaxRows),
-		StepsUsed:  int64(rst.Applications),
-		StepsLimit: int64(rst.StepsLimit),
+		RowsUsed:     s.DB.LastRowsCharged(),
+		RowsLimit:    int64(s.Limits.MaxRows),
+		StepsUsed:    int64(rst.Applications),
+		StepsLimit:   int64(rst.StepsLimit),
+		MemPeakBytes: s.DB.LastMemPeak(),
+		MemLimit:     s.Limits.MaxMemBytes,
 	}
 	if rep != nil {
 		rep.Budget = res.Budget
 		rep.Phases.Execute = time.Since(t0)
 		rep.ExecCounters = counterDelta(before, s.DB.Count)
+		rep.Spill = spillDelta(spillBefore, s.DB.Spill)
 		if collect {
 			rep.Exec = s.DB.LastExecStats()
 			attachExecSpans(eSpan, rep.Exec)

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"lera/internal/guard"
 	"lera/internal/obs"
@@ -105,7 +106,14 @@ func (l *SlowLog) Add(e SlowEntry) {
 		return
 	}
 	if len(e.Query) > MaxSlowQueryLen {
-		e.Query = e.Query[:MaxSlowQueryLen]
+		// Cut on a rune boundary: a byte-index cut can split a multi-byte
+		// UTF-8 sequence, leaving a trailing invalid fragment that breaks
+		// JSON-consuming tooling downstream of /debug/slowlog.
+		cut := MaxSlowQueryLen
+		for cut > 0 && !utf8.RuneStart(e.Query[cut]) {
+			cut--
+		}
+		e.Query = e.Query[:cut]
 		e.Truncated = true
 	}
 	l.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"lera/internal/obs"
 )
@@ -88,6 +89,34 @@ func TestSlowLogQueryTruncation(t *testing.T) {
 	}
 	if !strings.Contains(FormatSlowEntry(e), "truncated") {
 		t.Error("FormatSlowEntry does not surface truncation")
+	}
+}
+
+// TestSlowLogTruncationRuneBoundary: a multi-byte rune straddling the
+// truncation point is dropped whole — the retained text must stay valid
+// UTF-8 at every possible straddle offset ('世' is 3 bytes, so padding
+// lengths cover each alignment).
+func TestSlowLogTruncationRuneBoundary(t *testing.T) {
+	for pad := MaxSlowQueryLen - 4; pad < MaxSlowQueryLen; pad++ {
+		l := NewSlowLog(2, time.Second)
+		long := strings.Repeat("x", pad) + strings.Repeat("世", 4)
+		l.Add(SlowEntry{Query: long})
+		e := l.Snapshot()[0]
+		if !e.Truncated {
+			t.Fatalf("pad %d: not marked Truncated", pad)
+		}
+		if len(e.Query) > MaxSlowQueryLen {
+			t.Fatalf("pad %d: retained %d bytes, cap %d", pad, len(e.Query), MaxSlowQueryLen)
+		}
+		if !utf8.ValidString(e.Query) {
+			t.Fatalf("pad %d: truncation split a rune: ...%q", pad, e.Query[len(e.Query)-6:])
+		}
+		if !strings.HasPrefix(long, e.Query) {
+			t.Fatalf("pad %d: retained text is not a prefix of the original", pad)
+		}
+		if len(long) < MaxSlowQueryLen && len(e.Query) != len(long) {
+			t.Fatalf("pad %d: under-cap query was cut to %d bytes", pad, len(e.Query))
+		}
 	}
 }
 

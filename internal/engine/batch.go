@@ -60,10 +60,15 @@ func (db *DB) tickRows(n int) error {
 // block to arenaMaxBlockValues, so the thousands of tiny evaluations a
 // fixpoint performs don't each zero a full-size block while large scans
 // still amortize to one allocation per ~8k values. One arena per worker
-// chunk — never shared across goroutines.
+// chunk — never shared across goroutines. When db is set, block
+// allocations are charged to the evaluation's tracked-memory account
+// (arena rows live on as operator output, so the charge is never
+// released within the evaluation — a safe overestimate for the peak
+// gauge, and never part of any spill/fail decision).
 type rowArena struct {
 	buf []value.Value
 	blk int
+	db  *DB
 }
 
 // Arena block growth bounds, in values (not rows).
@@ -90,6 +95,9 @@ func (a *rowArena) alloc(n int) []value.Value {
 		}
 		a.blk = blk
 		a.buf = make([]value.Value, 0, blk)
+		if a.db != nil {
+			a.db.chargeMem(int64(blk) * valueSelfBytes)
+		}
 	}
 	s := len(a.buf)
 	a.buf = a.buf[:s+n]
@@ -162,7 +170,11 @@ func (db *DB) evalFilterBatch(t *term.Term, e env) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Relation{Rows: dedupRows(kept), Width: in.Arity()}
+	deduped, err := db.dedupRows(kept)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Rows: deduped, Width: in.Arity()}
 	db.Count.Emitted += len(out.Rows)
 	if err := db.chargeRows(len(out.Rows)); err != nil {
 		return nil, err
@@ -183,7 +195,7 @@ func (db *DB) evalJoinBatch(t *term.Term, e env) (*Relation, error) {
 	// pair is accounted in JoinPairs, so converting it to a hash join
 	// would change the work model (SEARCH is where join planning lives).
 	out := &Relation{Width: left.Arity() + right.Arity()}
-	ar := &rowArena{}
+	ar := &rowArena{db: db}
 	ctxRows := make([][]value.Value, 2)
 	bs := db.batchSize()
 	for _, l := range left.Rows {
@@ -213,7 +225,10 @@ func (db *DB) evalJoinBatch(t *term.Term, e env) (*Relation, error) {
 			ri += n
 		}
 	}
-	out.Rows = dedupRows(out.Rows)
+	out.Rows, err = db.dedupRows(out.Rows)
+	if err != nil {
+		return nil, err
+	}
 	db.Count.Emitted += len(out.Rows)
 	if err := db.chargeRows(len(out.Rows)); err != nil {
 		return nil, err
@@ -238,7 +253,10 @@ func (db *DB) evalUnionBatch(t *term.Term, e env) (*Relation, error) {
 		}
 		rows = append(rows, r.Rows...)
 	}
-	out.Rows = dedupRows(rows)
+	out.Rows, err = db.dedupRows(rows)
+	if err != nil {
+		return nil, err
+	}
 	db.Count.Emitted += len(out.Rows)
 	if err := db.chargeRows(len(out.Rows)); err != nil {
 		return nil, err
@@ -255,27 +273,52 @@ func (db *DB) evalInterBatch(t *term.Term, e env) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys := newRowSet()
+	keys := db.newMemSet("intersection key-set")
+	defer func() { keys.close() }()
 	for _, row := range acc.Rows {
-		keys.add(row)
+		if _, err := keys.add(row); err != nil {
+			return nil, err
+		}
 	}
 	for _, m := range members[1:] {
 		r, err := db.eval(m, e)
 		if err != nil {
 			return nil, err
 		}
-		next := newRowSet()
+		next := db.newMemSet("intersection key-set")
 		for _, row := range r.Rows {
-			if keys.has(row) {
-				next.add(row)
+			ok, err := keys.has(row)
+			if err != nil {
+				next.close()
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if _, err := next.add(row); err != nil {
+				next.close()
+				return nil, err
 			}
 		}
+		keys.close()
 		keys = next
 	}
 	out := &Relation{Width: acc.Arity()}
-	seen := newRowSet()
+	seen := db.newMemSet("intersection seen-set")
+	defer seen.close()
 	for _, row := range acc.Rows {
-		if keys.has(row) && seen.add(row) {
+		ok, err := keys.has(row)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		added, err := seen.add(row)
+		if err != nil {
+			return nil, err
+		}
+		if added {
 			out.Rows = append(out.Rows, row)
 		}
 	}
@@ -295,14 +338,29 @@ func (db *DB) evalDiffBatch(t *term.Term, e env) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	drop := newRowSet()
+	drop := db.newMemSet("difference drop-set")
+	defer drop.close()
 	for _, row := range right.Rows {
-		drop.add(row)
+		if _, err := drop.add(row); err != nil {
+			return nil, err
+		}
 	}
 	out := &Relation{Width: left.Arity()}
-	seen := newRowSet()
+	seen := db.newMemSet("difference seen-set")
+	defer seen.close()
 	for _, row := range left.Rows {
-		if !drop.has(row) && seen.add(row) {
+		dropped, err := drop.has(row)
+		if err != nil {
+			return nil, err
+		}
+		if dropped {
+			continue
+		}
+		added, err := seen.add(row)
+		if err != nil {
+			return nil, err
+		}
+		if added {
 			out.Rows = append(out.Rows, row)
 		}
 	}
@@ -354,7 +412,7 @@ func (db *DB) evalNestBatch(t *term.Term, e env) (*Relation, error) {
 			}
 			elem = value.NewTuple(names, vals)
 		}
-		h := rowHash(keyScratch)
+		h := hashRowFn(keyScratch)
 		var g *nestGroup
 		for _, cand := range buckets[h] {
 			if rowKeyEq(cand.key, keyScratch) {
@@ -416,7 +474,10 @@ func (db *DB) evalUnnestBatch(t *term.Term, e env) (*Relation, error) {
 			}
 		}
 	}
-	out.Rows = dedupRows(out.Rows)
+	out.Rows, err = db.dedupRows(out.Rows)
+	if err != nil {
+		return nil, err
+	}
 	db.Count.Emitted += len(out.Rows)
 	if err := db.chargeRows(len(out.Rows)); err != nil {
 		return nil, err

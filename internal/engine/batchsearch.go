@@ -160,33 +160,50 @@ func (db *DB) evalSearchBatch(t *term.Term, e env) (*Relation, error) {
 		leftKeys, rightKeys := equiJoinKeys(plan, ri, prep.offset)
 		var joined [][]value.Value
 		if len(leftKeys) > 0 {
-			// Hash join through the (possibly persistent) index; matches
-			// surface in (probe row, build insertion) order, exactly the
-			// oracle's output sequence.
-			ix := db.acquireJoinIndex(prep.names[ri-1], next.Rows, rightKeys)
-			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
-				var out [][]value.Value
-				ar := &rowArena{}
-				for _, prow := range chunk {
-					matches := ix.probe(prow, leftKeys)
-					if len(matches) == 0 {
-						continue
-					}
-					if err := w.tickRows(len(matches)); err != nil {
-						return nil, err
-					}
-					w.Count.JoinPairs += len(matches)
-					for _, rrow := range matches {
-						out = append(out, ar.join(prow, rrow))
-					}
+			// The memory governor sizes the build side with the same
+			// deterministic estimate graceJoin partitions against, so the
+			// spill decision is identical at every batch and pool size.
+			grant := db.memGrant()
+			var buildBytes int64
+			if grant > 0 {
+				buildBytes = rowsMemBytes(next.Rows) + int64(len(next.Rows))*setEntryBytes
+			}
+			if grant > 0 && buildBytes > grant {
+				if !db.spillOK() {
+					return nil, db.errMemBudget("SEARCH join build", buildBytes)
 				}
-				return out, nil
-			})
+				joined, err = db.graceJoin(current, next.Rows, leftKeys, rightKeys)
+			} else {
+				// Hash join through the (possibly persistent) index; matches
+				// surface in (probe row, build insertion) order, exactly the
+				// oracle's output sequence.
+				ix := db.acquireJoinIndex(prep.names[ri-1], next.Rows, rightKeys)
+				db.chargeMem(buildBytes)
+				joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
+					var out [][]value.Value
+					ar := &rowArena{db: w}
+					for _, prow := range chunk {
+						matches := ix.probe(prow, leftKeys)
+						if len(matches) == 0 {
+							continue
+						}
+						if err := w.tickRows(len(matches)); err != nil {
+							return nil, err
+						}
+						w.Count.JoinPairs += len(matches)
+						for _, rrow := range matches {
+							out = append(out, ar.join(prow, rrow))
+						}
+					}
+					return out, nil
+				})
+				db.releaseMem(buildBytes)
+			}
 		} else {
 			bs := db.batchSize()
 			joined, err = db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
 				var out [][]value.Value
-				ar := &rowArena{}
+				ar := &rowArena{db: w}
 				for _, prow := range chunk {
 					for ni := 0; ni < len(next.Rows); {
 						n := len(next.Rows) - ni
@@ -223,7 +240,7 @@ func (db *DB) evalSearchBatch(t *term.Term, e env) (*Relation, error) {
 	bs := db.batchSize()
 	projected, err := db.mapRowChunks(current, func(w *DB, chunk [][]value.Value) ([][]value.Value, error) {
 		var kept [][]value.Value
-		ar := &rowArena{}
+		ar := &rowArena{db: w}
 		sc := newSplitScratch(widths)
 		for len(chunk) > 0 {
 			batch := chunk
@@ -264,7 +281,10 @@ func (db *DB) evalSearchBatch(t *term.Term, e env) (*Relation, error) {
 	}
 	// LERA is an extension of Codd's algebra: relations are sets, so the
 	// projection output deduplicates.
-	out.Rows = dedupRows(projected)
+	out.Rows, err = db.dedupRows(projected)
+	if err != nil {
+		return nil, err
+	}
 	db.Count.Emitted += len(out.Rows)
 	if err := db.chargeRows(len(out.Rows)); err != nil {
 		return nil, err

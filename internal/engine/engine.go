@@ -143,6 +143,16 @@ type DB struct {
 	// cancellation tick per batch. 0 means DefaultBatchSize. Results
 	// never depend on it.
 	BatchSize int
+	// SpillDir is the directory the memory governor moves over-grant
+	// operator state into (spill.go): each EvalCtx creates a private temp
+	// directory beneath it on first spill and removes it when the
+	// evaluation ends. Empty means spilling is disabled — an operator
+	// exceeding Limits.MaxMemBytes then fails with guard.ErrMemBudget.
+	SpillDir string
+	// Spill accumulates the out-of-core counters across evaluations,
+	// like Count. Kept outside Counters because Counters are part of the
+	// bit-identity contract between spilled and in-memory runs.
+	Spill SpillStats
 
 	rels      map[string]*Relation
 	idx       *indexSet  // persistent per-relation join indexes, shared across forks
@@ -152,6 +162,9 @@ type DB struct {
 	// captured before the guard state is torn down so callers can report
 	// budget consumption even for queries that stayed under their cap.
 	lastRowsCharged int64
+	// lastMemPeak is the tracked-memory high-water mark of the last
+	// EvalCtx call (guard.Budget.MemPeak), captured like lastRowsCharged.
+	lastMemPeak int64
 }
 
 // evalGuard is the per-evaluation guard state: the cancellation context,
@@ -168,6 +181,10 @@ type evalGuard struct {
 	rows *guard.Budget
 	pool *workerPool
 	cur  *OpStats
+	// spill is the per-evaluation spill-directory handle (spill.go),
+	// shared by every worker clone like the Budget so all spill files of
+	// one evaluation unwind together.
+	spill *spillState
 }
 
 // guardTickInterval amortizes context checks in the row hot path: the
@@ -238,6 +255,7 @@ func (db *DB) Fork() *DB {
 		Injector:    db.Injector,
 		RowEngine:   db.RowEngine,
 		BatchSize:   db.BatchSize,
+		SpillDir:    db.SpillDir,
 		rels:        db.rels,
 		idx:         db.idx,
 	}
@@ -327,7 +345,7 @@ func (db *DB) Eval(t *term.Term) (*Relation, error) {
 // materializes its output.
 func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 	prev := db.g
-	db.g = &evalGuard{ctx: ctx, lim: db.Limits, rows: &guard.Budget{}}
+	db.g = &evalGuard{ctx: ctx, lim: db.Limits, rows: &guard.Budget{}, spill: &spillState{base: db.SpillDir}}
 	if w := db.Workers(); w > 1 {
 		db.g.pool = &workerPool{sem: make(chan struct{}, w-1)}
 	}
@@ -349,6 +367,12 @@ func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 	}
 	defer func() {
 		db.lastRowsCharged = int64(db.g.rows.Rows())
+		db.lastMemPeak = db.g.rows.MemPeak()
+		// Spill files are evaluation-scoped scratch: this unwind runs on
+		// success, error, cancellation and panic alike, which is what makes
+		// "no temp files after drain" hold — the server's drain just waits
+		// for in-flight evaluations to finish unwinding.
+		db.g.spill.cleanup()
 		db.g = prev
 	}()
 	return db.eval(t, env{})
@@ -358,6 +382,11 @@ func (db *DB) EvalCtx(ctx context.Context, t *term.Term) (*Relation, error) {
 // most recent EvalCtx call — the shared Budget total, so parallel
 // workers are all accounted for.
 func (db *DB) LastRowsCharged() int64 { return db.lastRowsCharged }
+
+// LastMemPeak reports the tracked-memory high-water mark of the most
+// recent EvalCtx call, across all workers. Zero when the memory governor
+// was off.
+func (db *DB) LastMemPeak() int64 { return db.lastMemPeak }
 
 // eval dispatches one operator evaluation, wrapping it in a per-operator
 // stats frame when collection is on. The disabled path is the g.cur nil

@@ -40,6 +40,7 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 	db.setStatsDetail(name + " [naive]")
 	total := &Relation{}
 	seen := db.newSeenSet()
+	defer seen.close()
 	cap := db.fixIterCap()
 	for iters := 1; ; iters++ {
 		db.Count.FixIterations++
@@ -58,7 +59,11 @@ func (db *DB) fixNaive(name string, body *term.Term, e env) (*Relation, error) {
 			next.Width = r.Arity()
 		}
 		for _, row := range r.Rows {
-			if seen.add(row) {
+			fresh, err := seen.add(row)
+			if err != nil {
+				return nil, err
+			}
+			if fresh {
 				next.Rows = append(next.Rows, row)
 				added++
 			}
@@ -102,15 +107,20 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 
 	total := &Relation{}
 	seen := db.newSeenSet()
-	add := func(rows [][]value.Value) *Relation {
+	defer seen.close()
+	add := func(rows [][]value.Value) (*Relation, error) {
 		delta := &Relation{Width: total.Width}
 		for _, row := range rows {
-			if seen.add(row) {
+			fresh, err := seen.add(row)
+			if err != nil {
+				return nil, err
+			}
+			if fresh {
 				total.Rows = append(total.Rows, row)
 				delta.Rows = append(delta.Rows, row)
 			}
 		}
-		return delta
+		return delta, nil
 	}
 
 	// The per-round body of each recursive member is loop-invariant: one
@@ -141,7 +151,10 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 		}
 		firstRows = append(firstRows, r.Rows...)
 	}
-	delta := add(firstRows)
+	delta, err := add(firstRows)
+	if err != nil {
+		return nil, err
+	}
 	db.recordFixRound(1, len(delta.Rows), len(total.Rows))
 
 	cap := db.fixIterCap()
@@ -166,7 +179,10 @@ func (db *DB) fixSemiNaive(name string, body *term.Term, e env) (*Relation, erro
 		for _, r := range recRels {
 			newRows = append(newRows, r.Rows...)
 		}
-		delta = add(newRows)
+		delta, err = add(newRows)
+		if err != nil {
+			return nil, err
+		}
 		db.recordFixRound(iters+1, len(delta.Rows), len(total.Rows))
 	}
 	return total, nil

@@ -36,6 +36,29 @@ func rowHash(row []value.Value) uint64 {
 	return h
 }
 
+// hashKey folds the key columns of a row (by index) into a 64-bit hash —
+// the join-build/probe hash. Rows whose key columns are rowKey-equal
+// hash identically.
+func hashKey(row []value.Value, keyIdx []int) uint64 {
+	h := uint64(value.HashOffset)
+	for _, k := range keyIdx {
+		h = value.HashUint(h, row[k].Hash())
+	}
+	return h
+}
+
+// hashRowFn and hashKeyFn are the indirection points every hashed
+// structure routes through — rowSet, joinIndex, the grace-hash
+// partitioner and the spilled membership sets. Production code always
+// runs the FNV hashers above; the collision-audit tests swap in a
+// constant hasher to force every row into one bucket (and one spill
+// partition), proving the collision-checked equality fallback carries
+// correctness on its own.
+var (
+	hashRowFn = rowHash
+	hashKeyFn = hashKey
+)
+
 // valueKeyEq reports whether a and b encode to the same Key string — the
 // exact equality the string-keyed oracle engine uses — without building
 // the strings.
@@ -125,7 +148,7 @@ func newRowSet() *rowSet { return &rowSet{m: map[uint64][][]value.Value{}} }
 
 // add inserts row and reports whether it was newly added.
 func (s *rowSet) add(row []value.Value) bool {
-	h := rowHash(row)
+	h := hashRowFn(row)
 	b := s.m[h]
 	for _, r := range b {
 		if rowKeyEq(r, row) {
@@ -138,7 +161,7 @@ func (s *rowSet) add(row []value.Value) bool {
 
 // has reports membership without inserting.
 func (s *rowSet) has(row []value.Value) bool {
-	for _, r := range s.m[rowHash(row)] {
+	for _, r := range s.m[hashRowFn(row)] {
 		if rowKeyEq(r, row) {
 			return true
 		}
@@ -164,31 +187,39 @@ func dedupRows(rows [][]value.Value) [][]value.Value {
 }
 
 // seenSet is the fixpoint accumulation set, chosen per engine: the
-// batched engine uses the hashed rowSet, the oracle keeps its string-key
-// map. Both implement first-seen semantics over rowKey equality.
+// batched engine uses the budgeted memSet (spill.go) — a hashed rowSet
+// that migrates to disk under the memory governor — while the oracle
+// keeps its string-key map. Both implement first-seen semantics over
+// rowKey equality.
 type seenSet interface {
-	// add inserts row and reports whether it was newly added.
-	add(row []value.Value) bool
+	// add inserts row and reports whether it was newly added. The error
+	// is the governor's: ErrMemBudget when the set outgrew its grant with
+	// no spill dir, or a spill I/O failure.
+	add(row []value.Value) (bool, error)
+	// close releases the set's memory charge and any spill file.
+	close()
 }
 
 // stringSeen is the oracle's string-keyed seen-set.
 type stringSeen map[string]bool
 
-func (s stringSeen) add(row []value.Value) bool {
+func (s stringSeen) add(row []value.Value) (bool, error) {
 	k := rowKey(row)
 	if s[k] {
-		return false
+		return false, nil
 	}
 	s[k] = true
-	return true
+	return true, nil
 }
+
+func (s stringSeen) close() {}
 
 // newSeenSet picks the seen-set implementation for the active engine.
 func (db *DB) newSeenSet() seenSet {
 	if db.RowEngine {
 		return stringSeen{}
 	}
-	return newRowSet()
+	return db.newMemSet("fixpoint seen-set")
 }
 
 // joinGroup is one distinct join key with its build rows in insertion
@@ -215,10 +246,7 @@ func buildJoinIndex(rows [][]value.Value, keyIdx []int) *joinIndex {
 		groups: make(map[uint64][]*joinGroup, len(rows)),
 	}
 	for _, row := range rows {
-		h := uint64(value.HashOffset)
-		for _, k := range keyIdx {
-			h = value.HashUint(h, row[k].Hash())
-		}
+		h := hashKeyFn(row, keyIdx)
 		var g *joinGroup
 		for _, cand := range ix.groups[h] {
 			match := true
@@ -249,10 +277,7 @@ func buildJoinIndex(rows [][]value.Value, keyIdx []int) *joinIndex {
 // probe returns the build rows whose key equals the probe row's columns
 // at slots, in build insertion order (nil when no key matches).
 func (ix *joinIndex) probe(row []value.Value, slots []int) [][]value.Value {
-	h := uint64(value.HashOffset)
-	for _, s := range slots {
-		h = value.HashUint(h, row[s].Hash())
-	}
+	h := hashKeyFn(row, slots)
 	for _, g := range ix.groups[h] {
 		match := true
 		for i, s := range slots {

@@ -79,11 +79,14 @@ func (db *DB) worker(ctx context.Context) *DB {
 		Parallelism:  db.Parallelism,
 		RowEngine:    db.RowEngine,
 		BatchSize:    db.BatchSize,
+		SpillDir:     db.SpillDir,
 		rels:         db.rels,
 		idx:          db.idx,
 		Injector:     db.Injector,
 	}
-	wg := &evalGuard{ctx: ctx, lim: g.lim, rows: g.rows, pool: g.pool}
+	// Workers share the evaluation's spill handle like the Budget, so all
+	// their spill files land in (and unwind with) the same temp dir.
+	wg := &evalGuard{ctx: ctx, lim: g.lim, rows: g.rows, pool: g.pool, spill: g.spill}
 	if g.cur != nil {
 		// A synthetic frame collects the task's stats children for the
 		// in-order splice of mergeWorker.
@@ -99,6 +102,7 @@ func (db *DB) worker(ctx context.Context) *DB {
 // tree equals the serial one.
 func (db *DB) mergeWorker(w *DB) {
 	db.Count.Add(w.Count)
+	db.Spill.Add(w.Spill)
 	g := db.g
 	if g == nil || g.cur == nil || w.g == nil || w.g.cur == nil {
 		return

@@ -40,10 +40,16 @@ type OpStats struct {
 	Incl Counters `json:"counters"`
 	// Rounds holds per-iteration deltas for FIX nodes (both naive and
 	// semi-naive evaluation record them).
-	Rounds    []FixRound    `json:"rounds,omitempty"`
-	Duration  time.Duration `json:"durationNs"`
-	Children  []*OpStats    `json:"children,omitempty"`
-	Truncated int           `json:"truncatedChildren,omitempty"`
+	Rounds []FixRound `json:"rounds,omitempty"`
+	// SpillPartitions/SpillBytes record out-of-core activity of this
+	// operator (spill.go). Like Duration they are rendered only with
+	// timings — the deterministic Format(false) output must stay
+	// bit-identical between spilled and in-memory runs.
+	SpillPartitions int64         `json:"spillPartitions,omitempty"`
+	SpillBytes      int64         `json:"spillBytes,omitempty"`
+	Duration        time.Duration `json:"durationNs"`
+	Children        []*OpStats    `json:"children,omitempty"`
+	Truncated       int           `json:"truncatedChildren,omitempty"`
 }
 
 // Self returns the node's own work: the inclusive counters minus the
@@ -100,6 +106,9 @@ func (o *OpStats) format(sb *strings.Builder, depth int, withTimings bool) {
 		fmt.Fprintf(sb, " rounds=%d", len(o.Rounds))
 	}
 	if withTimings {
+		if o.SpillPartitions > 0 || o.SpillBytes > 0 {
+			fmt.Fprintf(sb, " spill=%dp/%dB", o.SpillPartitions, o.SpillBytes)
+		}
 		fmt.Fprintf(sb, " (%s)", o.Duration.Round(time.Microsecond))
 	}
 	sb.WriteByte('\n')

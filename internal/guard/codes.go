@@ -30,6 +30,7 @@ const (
 	CodeStepBudget Code = "STEP_BUDGET"
 	CodeTermSize   Code = "TERM_SIZE"
 	CodeRowBudget  Code = "ROW_BUDGET"
+	CodeMemBudget  Code = "MEM_BUDGET"
 	// Caller cancellation (not a budget: the client went away).
 	CodeCanceled Code = "CANCELED"
 	// Implementor-code failures (panic isolated / error wrapped).
@@ -87,6 +88,8 @@ func CodeOf(err error) Code {
 		return CodeTermSize
 	case errors.Is(err, ErrRowBudget):
 		return CodeRowBudget
+	case errors.Is(err, ErrMemBudget):
+		return CodeMemBudget
 	case errors.Is(err, context.Canceled):
 		return CodeCanceled
 	}

@@ -35,6 +35,10 @@ var (
 	ErrTermSize = errors.New("guard: term size limit exceeded")
 	// ErrRowBudget: execution materialized more rows than allowed.
 	ErrRowBudget = errors.New("guard: row budget exceeded")
+	// ErrMemBudget: an execution operator needed more memory than
+	// MaxMemBytes grants and no spill directory was available to move
+	// its state out of core.
+	ErrMemBudget = errors.New("guard: memory budget exceeded")
 )
 
 // DefaultMaxFixIterations bounds fixpoint rounds when Limits leaves
@@ -62,6 +66,15 @@ type Limits struct {
 	// (per FIX subterm, not shared across them). 0 means
 	// DefaultMaxFixIterations.
 	MaxFixIterations int
+	// MaxMemBytes is the per-operator memory grant of the batched
+	// engine's memory governor (work_mem-style, docs/PERF.md "Memory
+	// governor & spill"): the estimated resident bytes any single
+	// memory-hungry operator structure — a join build, a dedup or
+	// fixpoint seen-set — may hold before it must switch to its
+	// out-of-core strategy. Without a spill directory the switch is
+	// impossible and the operator fails with ErrMemBudget instead.
+	// 0 means unlimited.
+	MaxMemBytes int64
 }
 
 // FixIterations returns the effective per-instance fixpoint iteration cap.
@@ -72,12 +85,22 @@ func (l Limits) FixIterations() int {
 	return DefaultMaxFixIterations
 }
 
-// Budget is the shared, cumulative row account of one query evaluation.
-// Every worker of a parallel query charges the same Budget, so the cap
-// trips promptly no matter which worker materializes the row that crosses
-// it; the serial path pays one uncontended atomic add per operator output.
+// Budget is the shared resource account of one query evaluation: the
+// cumulative row count and the tracked-memory account. Every worker of a
+// parallel query charges the same Budget, so the row cap trips promptly
+// no matter which worker materializes the row that crosses it; the
+// serial path pays one uncontended atomic add per operator output.
 type Budget struct {
 	rows atomic.Int64
+	// mem is the current tracked resident bytes (engine structures the
+	// memory governor accounts: arenas, join builds, seen-sets) and
+	// memPeak its high-water mark. Unlike rows, the shared memory
+	// account never errors by itself — the spill/fail decision is made
+	// operator-locally against Limits.MaxMemBytes so it stays
+	// deterministic at every pool size; the shared account exists so one
+	// peak number covers all workers (reports, the peak-memory gauge).
+	mem     atomic.Int64
+	memPeak atomic.Int64
 }
 
 // ChargeRows adds n freshly materialized rows to the account and reports
@@ -93,6 +116,32 @@ func (b *Budget) ChargeRows(n, max int) error {
 // Rows returns the rows charged so far.
 func (b *Budget) Rows() int { return int(b.rows.Load()) }
 
+// ChargeMem adds n tracked bytes to the shared memory account and
+// advances the peak. Pair with ReleaseMem when the structure is dropped
+// (or shrinks, e.g. after migrating to disk).
+func (b *Budget) ChargeMem(n int64) {
+	if n == 0 {
+		return
+	}
+	cur := b.mem.Add(n)
+	for {
+		p := b.memPeak.Load()
+		if cur <= p || b.memPeak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// ReleaseMem returns n tracked bytes to the account.
+func (b *Budget) ReleaseMem(n int64) {
+	if n != 0 {
+		b.mem.Add(-n)
+	}
+}
+
+// MemPeak returns the high-water mark of tracked bytes.
+func (b *Budget) MemPeak() int64 { return b.memPeak.Load() }
+
 // Consumption is a per-query snapshot of budget use against its limits:
 // how many rows the engine materialized and how many rewrite steps the
 // rule engine applied, next to the caps that bounded them (0 = the cap
@@ -104,10 +153,17 @@ type Consumption struct {
 	RowsLimit  int64 `json:"rows_limit,omitempty"`
 	StepsUsed  int64 `json:"steps_used"`
 	StepsLimit int64 `json:"steps_limit,omitempty"`
+	// MemPeakBytes is the high-water mark of the engine's tracked
+	// memory (Budget.MemPeak) and MemLimit the per-operator grant it
+	// ran under. Both zero when the memory governor was off, so the
+	// rendered form only grows a mem clause for governed queries.
+	MemPeakBytes int64 `json:"mem_peak_bytes,omitempty"`
+	MemLimit     int64 `json:"mem_limit,omitempty"`
 }
 
 // String renders the consumption compactly for notices: "rows 120/1000,
-// steps 4/500" with "∞" for unlimited caps.
+// steps 4/500" (plus ", mem 8192/65536" once the memory governor is on)
+// with "unlimited" for uncapped budgets.
 func (c Consumption) String() string {
 	lim := func(n int64) string {
 		if n <= 0 {
@@ -115,7 +171,11 @@ func (c Consumption) String() string {
 		}
 		return fmt.Sprintf("%d", n)
 	}
-	return fmt.Sprintf("rows %d/%s, steps %d/%s", c.RowsUsed, lim(c.RowsLimit), c.StepsUsed, lim(c.StepsLimit))
+	s := fmt.Sprintf("rows %d/%s, steps %d/%s", c.RowsUsed, lim(c.RowsLimit), c.StepsUsed, lim(c.StepsLimit))
+	if c.MemPeakBytes > 0 || c.MemLimit > 0 {
+		s += fmt.Sprintf(", mem %d/%s", c.MemPeakBytes, lim(c.MemLimit))
+	}
+	return s
 }
 
 // CheckCtx translates context cancellation into the guard vocabulary: a

@@ -56,6 +56,10 @@ type QueryEvent struct {
 	RowsLimit  int64 `json:"rows_limit,omitempty"`
 	StepsUsed  int64 `json:"steps_used,omitempty"`
 	StepsLimit int64 `json:"steps_limit,omitempty"`
+	// Memory governor consumption: the tracked-memory peak against the
+	// per-operator grant, all zero when the governor is off.
+	MemPeakBytes int64 `json:"mem_peak_bytes,omitempty"`
+	MemLimit     int64 `json:"mem_limit,omitempty"`
 
 	// Engine counter deltas for this query.
 	Scanned       int64 `json:"scanned,omitempty"`
@@ -63,6 +67,13 @@ type QueryEvent struct {
 	Emitted       int64 `json:"emitted,omitempty"`
 	PredEvals     int64 `json:"pred_evals,omitempty"`
 	FixIterations int64 `json:"fix_iterations,omitempty"`
+
+	// Out-of-core activity for this query (spill-to-disk under the
+	// memory governor): partition files written, bytes spilled, records
+	// read back. All zero for queries that never spilled.
+	SpillPartitions int64 `json:"spill_partitions,omitempty"`
+	SpillBytes      int64 `json:"spill_bytes,omitempty"`
+	SpillReads      int64 `json:"spill_reads,omitempty"`
 
 	// Rewrite effort for this query.
 	MatchAttempts int64 `json:"match_attempts,omitempty"`

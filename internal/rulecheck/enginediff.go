@@ -40,6 +40,17 @@ type EngineDiffOptions struct {
 	BatchSize int
 	// Limits is the guard budget applied to every evaluation.
 	Limits guard.Limits
+	// SpillDir, when set, adds four spill-forced variants: the batched
+	// variants (both fixpoint modes, serial and parallel) re-run with
+	// Limits.MaxMemBytes = SpillMaxMem and this spill directory armed, so
+	// join builds, dedup passes and seen-sets all take the out-of-core
+	// path. Their outputs must stay bit-identical to the unlimited-memory
+	// batched runs — the spill half of the engine differential gate
+	// (docs/PERF.md, "Memory governor & spill").
+	SpillDir string
+	// SpillMaxMem is the per-operator memory grant of the spill variants.
+	// 0 means 1 byte: every governed structure spills immediately.
+	SpillMaxMem int64
 }
 
 func (o EngineDiffOptions) withDefaults() EngineDiffOptions {
@@ -57,32 +68,53 @@ func (o EngineDiffOptions) withDefaults() EngineDiffOptions {
 
 // engineVariant is one way of running the engine.
 type engineVariant struct {
-	name string
-	mode engine.FixMode
-	par  int
-	row  bool // tuple-at-a-time oracle instead of the batched engine
+	name  string
+	mode  engine.FixMode
+	par   int
+	row   bool // tuple-at-a-time oracle instead of the batched engine
+	spill bool // memory governor armed with a tiny grant + spill dir
 }
 
 // EngineDiff executes every corpus term under all eight engine variants
-// and reports divergence as RC104 diagnostics. The error return is
-// reserved for setup failures and context cancellation.
+// (twelve when SpillDir arms the spill-forced runs) and reports
+// divergence as RC104 diagnostics. The error return is reserved for
+// setup failures and context cancellation.
 func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions) ([]Diagnostic, error) {
 	opt = opt.withDefaults()
 	inst := Generate(cat, opt.Seed, opt.RowsPerRelation)
 	corpus := Corpus(cat, inst, opt.Seed)
 	variants := []engineVariant{
-		{"batch/naive/serial", engine.Naive, 1, false},
-		{"batch/semi-naive/serial", engine.SemiNaive, 1, false},
-		{"batch/naive/parallel", engine.Naive, opt.Parallelism, false},
-		{"batch/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, false},
-		{"row/naive/serial", engine.Naive, 1, true},
-		{"row/semi-naive/serial", engine.SemiNaive, 1, true},
-		{"row/naive/parallel", engine.Naive, opt.Parallelism, true},
-		{"row/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, true},
+		{"batch/naive/serial", engine.Naive, 1, false, false},
+		{"batch/semi-naive/serial", engine.SemiNaive, 1, false, false},
+		{"batch/naive/parallel", engine.Naive, opt.Parallelism, false, false},
+		{"batch/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, false, false},
+		{"row/naive/serial", engine.Naive, 1, true, false},
+		{"row/semi-naive/serial", engine.SemiNaive, 1, true, false},
+		{"row/naive/parallel", engine.Naive, opt.Parallelism, true, false},
+		{"row/semi-naive/parallel", engine.SemiNaive, opt.Parallelism, true, false},
+	}
+	if opt.SpillDir != "" {
+		variants = append(variants,
+			engineVariant{"batch/naive/serial/spill", engine.Naive, 1, false, true},
+			engineVariant{"batch/semi-naive/serial/spill", engine.SemiNaive, 1, false, true},
+			engineVariant{"batch/naive/parallel/spill", engine.Naive, opt.Parallelism, false, true},
+			engineVariant{"batch/semi-naive/parallel/spill", engine.SemiNaive, opt.Parallelism, false, true},
+		)
+	}
+	spillMem := opt.SpillMaxMem
+	if spillMem <= 0 {
+		spillMem = 1
+	}
+	limsOf := func(v engineVariant) guard.Limits {
+		lims := opt.Limits
+		if v.spill {
+			lims.MaxMemBytes = spillMem
+		}
+		return lims
 	}
 	dbs := make([]*engine.DB, len(variants))
 	for i, v := range variants {
-		db, err := NewDB(cat, inst, opt.Limits)
+		db, err := NewDB(cat, inst, limsOf(v))
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +122,9 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 		db.Parallelism = v.par
 		db.RowEngine = v.row
 		db.BatchSize = opt.BatchSize
+		if v.spill {
+			db.SpillDir = opt.SpillDir
+		}
 		dbs[i] = db
 	}
 
@@ -110,6 +145,16 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 		{4, 6}, {5, 7}, // row: serial vs parallel
 		{0, 4}, {1, 5}, // serial: batch vs row
 	}
+	if len(variants) > 8 {
+		// Spill determinism: the spill-forced runs must match the
+		// unlimited-memory batched runs bit for bit (and each other across
+		// pool sizes) — out-of-core processing is an implementation detail,
+		// never a semantic one.
+		exactPairs = append(exactPairs,
+			[2]int{0, 8}, [2]int{1, 9}, // serial batch: unlimited vs spill
+			[2]int{8, 10}, [2]int{9, 11}, // spill: serial vs parallel
+		)
+	}
 	for _, q := range corpus {
 		if err := ctx.Err(); err != nil {
 			return ds, err
@@ -117,7 +162,7 @@ func EngineDiff(ctx context.Context, cat *catalog.Catalog, opt EngineDiffOptions
 		rels := make([]*engine.Relation, len(variants))
 		errs := make([]error, len(variants))
 		for i := range variants {
-			rels[i], errs[i] = evalPhase(ctx, dbs[i], opt.Limits, q.Term)
+			rels[i], errs[i] = evalPhase(ctx, dbs[i], limsOf(variants[i]), q.Term)
 		}
 		// Success parity holds across every exact pair: the cumulative row
 		// account is order-independent, so a budget trips under the pool

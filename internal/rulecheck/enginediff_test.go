@@ -55,6 +55,34 @@ func TestEngineModesAgreeUnderLimits(t *testing.T) {
 	}
 }
 
+// TestEngineAgreesUnderSpill is the spill half of the differential gate
+// (ISSUE 10 acceptance): with a one-byte memory grant and a spill
+// directory armed, every join build, dedup pass and fixpoint seen-set in
+// the spill-forced variants goes out of core, and the results must still
+// be bit-identical to the unlimited-memory batched runs — at degenerate
+// and whole-input batch sizes, serial and on a pool.
+func TestEngineAgreesUnderSpill(t *testing.T) {
+	cat, err := testdb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 1024} {
+		ds, err := EngineDiff(context.Background(), cat, EngineDiffOptions{
+			Seed:            5,
+			RowsPerRelation: 6,
+			Parallelism:     4,
+			BatchSize:       bs,
+			SpillDir:        t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		for _, d := range ds {
+			t.Errorf("batch size %d: %s", bs, d)
+		}
+	}
+}
+
 // TestEngineAgreesAcrossBatchSizes re-runs the gate at degenerate and
 // large batch granularities: batch size must never change any output —
 // size 1 degenerates to per-row batches, 2 exercises every partial-batch

@@ -61,6 +61,8 @@ func (s *Server) recordDiagnostics(t0 time.Time, elapsed time.Duration, tenant, 
 			ev.RowsLimit = res.Budget.RowsLimit
 			ev.StepsUsed = res.Budget.StepsUsed
 			ev.StepsLimit = res.Budget.StepsLimit
+			ev.MemPeakBytes = res.Budget.MemPeakBytes
+			ev.MemLimit = res.Budget.MemLimit
 			st := res.RewriteStats()
 			ev.MatchAttempts = int64(st.MatchAttempts)
 			ev.Applications = int64(st.Applications)
@@ -76,6 +78,9 @@ func (s *Server) recordDiagnostics(t0 time.Time, elapsed time.Duration, tenant, 
 			ev.Emitted = int64(c.Emitted)
 			ev.PredEvals = int64(c.PredEvals)
 			ev.FixIterations = int64(c.FixIterations)
+			ev.SpillPartitions = rep.Spill.Partitions
+			ev.SpillBytes = rep.Spill.Bytes
+			ev.SpillReads = rep.Spill.Reads
 		}
 		s.qlog.Record(ev)
 	}

@@ -80,6 +80,17 @@ type Config struct {
 	// PlanCacheValidation re-validates every n'th cache hit against a
 	// cold rewrite (core.WithPlanCacheValidation). 0 = off.
 	PlanCacheValidation int
+	// MaxMemBytes is the server-wide per-operator memory grant, applied to
+	// any tenant whose own maxMemBytes is unset (0 = ungoverned). Governed
+	// operators that outgrow the grant spill to SpillDir, or fail with
+	// MEM_BUDGET when no spill directory is configured
+	// (docs/GUARDRAILS.md).
+	MaxMemBytes int64
+	// SpillDir is where governed operators spill partition files; ""
+	// disables spilling (over-grant operators then fail with MEM_BUDGET).
+	// Spill files live in a per-query subdirectory and are removed when
+	// the query finishes, including on error, cancel and drain.
+	SpillDir string
 	// Tenants maps tenant names to guard budgets (see tenant.go). Nil
 	// serves every request under unlimited default limits.
 	Tenants Tenants
@@ -217,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 	base.Obs = ob
 	base.Parallelism = cfg.Parallelism
 	base.BatchSize = cfg.BatchSize
+	base.SpillDir = cfg.SpillDir
 	if cfg.LoadFilms {
 		if err := loadFilms(base); err != nil {
 			return nil, fmt.Errorf("server: loading example database: %w", err)
@@ -399,6 +411,11 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 func (s *Server) handleQuery(ctx context.Context, tenant, query string) (resp Response) {
 	t0 := time.Now()
 	tenantName, limits := s.cfg.Tenants.Resolve(tenant)
+	if limits.MaxMemBytes == 0 {
+		// The server-wide grant backstops tenants that set none; a tenant
+		// entry with its own maxMemBytes overrides it either way.
+		limits.MaxMemBytes = s.cfg.MaxMemBytes
+	}
 	resp.Tenant = tenantName
 
 	// res outlives the execution closure so the deferred diagnostics —
@@ -587,7 +604,7 @@ func httpStatus(c guard.Code) int {
 		return http.StatusGatewayTimeout
 	case guard.CodeCanceled:
 		return http.StatusRequestTimeout
-	case guard.CodeStepBudget, guard.CodeTermSize, guard.CodeRowBudget:
+	case guard.CodeStepBudget, guard.CodeTermSize, guard.CodeRowBudget, guard.CodeMemBudget:
 		return http.StatusUnprocessableEntity
 	default: // INJECTED, EXTERNAL_*, INTERNAL
 		return http.StatusInternalServerError

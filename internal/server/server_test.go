@@ -12,6 +12,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -225,6 +226,76 @@ func TestServerTenantBudgets(t *testing.T) {
 	}
 	if out.Resp.Tenant != DefaultTenant {
 		t.Fatalf("unknown tenant resolved to %q, want %q", out.Resp.Tenant, DefaultTenant)
+	}
+}
+
+// TestServerMemBudget: a tenant memory grant with no spill directory
+// fails typed (MEM_BUDGET, 422); the same grant with a spill directory
+// is answered correctly out of core, rows identical to an ungoverned
+// request, spill activity visible on /metrics, and no spill files left
+// behind once the queries are done.
+func TestServerMemBudget(t *testing.T) {
+	spill := t.TempDir()
+	_, base := startServer(t, Config{
+		SpillDir: spill,
+		Tenants: Tenants{
+			"default": {},
+			"mem":     {MaxMemBytes: 1},
+		},
+	})
+
+	c := NewClient(base)
+	want := c.Query(context.Background(), filmQuery)
+	if want.Code != guard.CodeOK {
+		t.Fatalf("ungoverned query code = %s", want.Code)
+	}
+
+	c.Tenant = "mem"
+	out := c.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeOK {
+		t.Fatalf("governed query code = %s (%v)", out.Code, out.Err)
+	}
+	if fmt.Sprint(out.Resp.Rows) != fmt.Sprint(want.Resp.Rows) {
+		t.Errorf("spilled rows differ from ungoverned rows:\n%v\n%v", out.Resp.Rows, want.Resp.Rows)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "lera_engine_spill_partitions_total") {
+		t.Error("/metrics missing lera_engine_spill_partitions_total after a spilled query")
+	}
+
+	// Per-query spill subdirectories are removed when the query finishes.
+	ents, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("spill dir not empty after queries: %v", ents)
+	}
+
+	// The same grant with spilling disabled fails typed.
+	_, base2 := startServer(t, Config{
+		Tenants: Tenants{"mem": {MaxMemBytes: 1}},
+	})
+	c2 := NewClient(base2)
+	c2.Tenant = "mem"
+	out = c2.Query(context.Background(), filmQuery)
+	if out.Code != guard.CodeMemBudget {
+		t.Fatalf("no-spill governed query code = %s, want MEM_BUDGET (%+v)", out.Code, out.Resp)
+	}
+	body2, _ := json.Marshal(map[string]string{"tenant": "mem", "query": filmQuery})
+	hresp, err := http.Post(base2+"/query", "application/json", strings.NewReader(string(body2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("MEM_BUDGET status = %d, want 422", hresp.StatusCode)
 	}
 }
 

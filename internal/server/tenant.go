@@ -38,6 +38,11 @@ type TenantLimits struct {
 	MaxRows int `json:"maxRows"`
 	// MaxFixIterations caps each fixpoint instance's rounds.
 	MaxFixIterations int `json:"maxFixIterations"`
+	// MaxMemBytes is the per-operator memory grant for execution
+	// (docs/GUARDRAILS.md): hash structures that would exceed it spill to
+	// the server's spill directory, or fail with MEM_BUDGET when spilling
+	// is disabled.
+	MaxMemBytes int64 `json:"maxMemBytes"`
 }
 
 // Limits converts the JSON shape into a guard budget.
@@ -48,6 +53,7 @@ func (t TenantLimits) Limits() guard.Limits {
 		MaxTermSize:      t.MaxTermSize,
 		MaxRows:          t.MaxRows,
 		MaxFixIterations: t.MaxFixIterations,
+		MaxMemBytes:      t.MaxMemBytes,
 	}
 }
 
